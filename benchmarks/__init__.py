@@ -1,0 +1,1 @@
+"""Benchmark suite regenerating every figure of the paper's evaluation."""

@@ -1,0 +1,44 @@
+"""Extension bench: how many trials per point does a stable mean need?
+
+The paper uses 1,000 trials per data point; this bench measures the actual
+trial-count/confidence trade-off at the default settings, reporting the
+running mean reliability and 95% half-width at log-spaced checkpoints --
+the empirical justification for this repository's smaller bench defaults.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, trials_per_point
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.experiments.convergence import convergence_table, trials_for_half_width
+from repro.experiments.settings import DEFAULT_SETTINGS
+from repro.util.tables import format_table
+
+
+def bench_trial_convergence(benchmark, results_dir):
+    top = max(40, trials_per_point() * 4)
+    checkpoints = sorted({5, 10, top // 2, top})
+
+    def sweep():
+        return convergence_table(
+            DEFAULT_SETTINGS, MatchingHeuristic(), checkpoints=checkpoints, rng=71
+        )
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [p.trials, p.mean_reliability, p.std_error, p.half_width_95] for p in table
+    ]
+    needed = trials_for_half_width(table, 0.01)
+    emit(
+        results_dir,
+        "trial_convergence",
+        format_table(
+            ["trials", "mean reliability", "std error", "95% half-width"],
+            rows,
+            title="Trial-count convergence (Heuristic, default settings)",
+        )
+        + f"\n\ntrials needed for +/-0.01 at 95%: {needed or f'>{checkpoints[-1]}'}",
+    )
+
+    half_widths = [p.half_width_95 for p in table]
+    assert half_widths[-1] <= half_widths[0]  # more trials, tighter interval

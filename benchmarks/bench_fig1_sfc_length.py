@@ -1,0 +1,54 @@
+"""Figure 1: performance vs SFC length (2 to 20).
+
+Regenerates all three panels:
+
+* (a) achieved SFC reliability of ILP / Randomized / Heuristic;
+* (b) capacity usage ratio (avg/min/max) of the randomized algorithm;
+* (c) running time of the three algorithms.
+
+Paper claims to compare against (Section 7.2): Randomized >= 97.82% and
+Heuristic >= 96.03% of the ILP's reliability; Randomized sometimes exceeds
+the ILP via capacity violations; time(ILP) >> time(Randomized) >
+time(Heuristic), with the ILP gap widening as the chain grows.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import trials_per_point, emit, full_grid
+from repro.experiments.figures import FIG1_SFC_LENGTHS, run_figure1
+from repro.experiments.reporting import render_figure
+from repro.experiments.settings import DEFAULT_SETTINGS
+
+THIN_GRID = (2, 6, 10, 14, 20)
+
+
+def bench_figure1(benchmark, results_dir):
+    lengths = FIG1_SFC_LENGTHS if full_grid() else THIN_GRID
+    trials = trials_per_point()
+
+    def sweep():
+        return run_figure1(
+            DEFAULT_SETTINGS,
+            sfc_lengths=lengths,
+            trials=trials,
+            rng=1,
+        )
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "fig1_sfc_length",
+        render_figure(series)
+        + f"\n\n({trials} trials/point; paper used 1000. "
+        "Set REPRO_TRIALS / REPRO_BENCH_FULL=1 for the full protocol.)",
+    )
+
+    # sanity of the paper's headline claims on the generated data
+    for i in range(len(series.x_values)):
+        point = series.points[i]
+        ilp = point["ILP"].reliability
+        assert point["Heuristic"].reliability <= ilp + 0.05
+        assert point["Heuristic"].reliability >= 0.85 * ilp
+    # runtime ordering on the largest instance
+    last = series.points[-1]
+    assert last["ILP"].runtime > last["Heuristic"].runtime

@@ -1,0 +1,72 @@
+"""Extension bench: the price of sequential admission.
+
+Compares sequential per-request augmentation (the paper's operating model,
+applied request by request on a shared ledger) against the clairvoyant
+joint ILP of :mod:`repro.solvers.multi` that sees the whole batch at once.
+The met-SLO gap between the two is the capacity an operator loses to
+arrival order -- a bound no sequential policy can beat.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, trials_per_point
+from repro.algorithms.baselines import GreedyGain
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.experiments.batch import run_joint_comparison
+from repro.experiments.settings import DEFAULT_SETTINGS
+from repro.util.rng import as_rng, spawn_rng
+from repro.util.tables import format_table
+
+BATCH_SIZE = 8
+
+
+def bench_sequential_vs_joint(benchmark, results_dir):
+    batches = max(3, trials_per_point() // 3)
+    algorithms = [MatchingHeuristic(), GreedyGain()]
+
+    def sweep():
+        rows = []
+        for algorithm in algorithms:
+            seq_met = joint_met = seq_rel = joint_rel = 0.0
+            for child in spawn_rng(as_rng(61), batches):
+                comparison = run_joint_comparison(
+                    DEFAULT_SETTINGS, algorithm, BATCH_SIZE, rng=child
+                )
+                count = max(1, comparison.num_requests)
+                seq_met += comparison.sequential_met / count
+                joint_met += comparison.joint_met / count
+                seq_rel += comparison.sequential_mean_reliability
+                joint_rel += comparison.joint_mean_reliability
+            rows.append(
+                [
+                    algorithm.name,
+                    seq_met / batches,
+                    joint_met / batches,
+                    seq_rel / batches,
+                    joint_rel / batches,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "sequential_vs_joint",
+        format_table(
+            [
+                "sequential augmenter",
+                "SLO met (seq)",
+                "SLO met (joint)",
+                "mean rel (seq)",
+                "mean rel (joint)",
+            ],
+            rows,
+            title=(
+                f"Price of sequential admission (batches of {BATCH_SIZE}, "
+                f"{batches} batches/algorithm; joint = clairvoyant ILP)"
+            ),
+        ),
+    )
+
+    for row in rows:
+        assert row[2] >= row[1] - 1e-9  # the joint bound must dominate

@@ -1,0 +1,78 @@
+"""Ablation: the from-scratch Hungarian solver vs scipy's assignment solver.
+
+Algorithm 2's inner loop is a min-cost maximum matching; this bench
+measures both backends on matching instances shaped like the ones the
+heuristic actually builds (|V| cloudlet rows vs N item columns, sparse
+locality edges) and on dense square assignment matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.matching.hungarian import solve_assignment
+from repro.matching.mincost import min_cost_max_matching
+from repro.util.tables import format_table
+
+
+def _heuristic_shaped_edges(n_rows: int, n_cols: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return {
+        (r, c): float(rng.uniform(0.5, 6.0))
+        for r in range(n_rows)
+        for c in range(n_cols)
+        if rng.uniform() < 0.3
+    }
+
+
+@pytest.mark.parametrize("backend", ["scipy", "own"])
+def bench_mincost_heuristic_shape(benchmark, backend):
+    """10 cloudlets x 150 items at 30% edge density (one Algorithm 2 round)."""
+    edges = _heuristic_shaped_edges(10, 150, seed=5)
+    result = benchmark(min_cost_max_matching, 10, 150, edges, backend)
+    assert len(result) == 10  # every cloudlet matched at this density
+
+
+@pytest.mark.parametrize("size", [50, 150])
+def bench_hungarian_dense(benchmark, size):
+    """Dense square assignment with the from-scratch JV solver."""
+    rng = np.random.default_rng(size)
+    cost = rng.uniform(0, 100, size=(size, size))
+    _, total = benchmark(solve_assignment, cost)
+    assert total > 0
+
+
+def bench_matching_report(benchmark, results_dir):
+    """Correctness cross-check table for the two backends."""
+
+    def crosscheck():
+        rows = []
+        for n_rows, n_cols, seed in [(10, 100, 1), (10, 300, 2), (20, 200, 3)]:
+            edges = _heuristic_shaped_edges(n_rows, n_cols, seed)
+            a = min_cost_max_matching(n_rows, n_cols, edges, backend="scipy")
+            b = min_cost_max_matching(n_rows, n_cols, edges, backend="own")
+            rows.append(
+                [
+                    f"{n_rows}x{n_cols}",
+                    len(a),
+                    len(b),
+                    sum(e.cost for e in a),
+                    sum(e.cost for e in b),
+                ]
+            )
+            assert len(a) == len(b)
+            assert abs(sum(e.cost for e in a) - sum(e.cost for e in b)) < 1e-6
+        return rows
+
+    rows = benchmark.pedantic(crosscheck, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "matching_backends",
+        format_table(
+            ["instance", "card(scipy)", "card(own)", "cost(scipy)", "cost(own)"],
+            rows,
+            title="Matching backends agree on cardinality and cost",
+        ),
+    )

@@ -1,0 +1,89 @@
+"""Ablation: topology-family sensitivity.
+
+The paper evaluates on GT-ITM (Waxman) topologies only.  This bench re-runs
+the default comparison on Erdos-Renyi and grid networks of the same size to
+check the algorithms' relative ordering is not a Waxman artifact: the exact
+ILP must dominate and the heuristic track it on every family.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from benchmarks.conftest import trials_per_point, emit
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.algorithms.ilp_exact import ILPAlgorithm
+from repro.experiments.runner import run_trial
+from repro.experiments.settings import DEFAULT_SETTINGS
+from repro.experiments.workload import make_trial
+from repro.netmodel.graph import MECNetwork
+from repro.topology.families import erdos_renyi_topology, grid_topology
+from repro.topology.gtitm import generate_gtitm_topology
+from repro.topology.placement import assign_cloudlets
+from repro.topology.transit_stub import (
+    generate_transit_stub_topology,
+    transit_stub_cloudlets,
+)
+from repro.util.rng import as_rng, spawn_rng
+from repro.util.tables import format_table
+
+
+def _flat_network(make_graph, rng) -> MECNetwork:
+    graph = make_graph(rng)
+    return MECNetwork(graph, assign_cloudlets(graph, rng=rng))
+
+
+def _transit_stub_network(rng) -> MECNetwork:
+    graph = generate_transit_stub_topology(rng=rng)
+    return MECNetwork(graph, transit_stub_cloudlets(graph, rng=rng))
+
+
+FAMILIES = {
+    "waxman": lambda rng: _flat_network(
+        lambda r: generate_gtitm_topology(100, rng=r), rng
+    ),
+    "erdos-renyi": lambda rng: _flat_network(
+        lambda r: erdos_renyi_topology(100, 0.05, rng=r), rng
+    ),
+    "grid": lambda rng: _flat_network(lambda _r: grid_topology(10, 10), rng),
+    "transit-stub": _transit_stub_network,
+}
+
+
+def _run_family(name: str, trials: int, seed: int):
+    make_network = FAMILIES[name]
+    algorithms = [ILPAlgorithm(), MatchingHeuristic()]
+    gen = as_rng(seed)
+    totals = {a.name: 0.0 for a in algorithms}
+    for child in spawn_rng(gen, trials):
+        network = make_network(child)
+        instance = make_trial(DEFAULT_SETTINGS, rng=child, network=network)
+        for algorithm in algorithms:
+            result = algorithm.solve(instance.problem, rng=child)
+            totals[algorithm.name] += result.reliability
+    return {name_: total / trials for name_, total in totals.items()}
+
+
+def bench_topology_families(benchmark, results_dir):
+    trials = max(3, trials_per_point() // 2)
+
+    def sweep():
+        return {name: _run_family(name, trials, seed=31) for name in FAMILIES}
+
+    per_family = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [family, rels["ILP"], rels["Heuristic"], rels["ILP"] - rels["Heuristic"]]
+        for family, rels in per_family.items()
+    ]
+    emit(
+        results_dir,
+        "topologies",
+        format_table(
+            ["topology", "rel(ILP)", "rel(Heuristic)", "gap"],
+            rows,
+            title=f"Topology sensitivity ({trials} trials/family)",
+        ),
+    )
+
+    for family, rels in per_family.items():
+        assert rels["Heuristic"] <= rels["ILP"] + 0.03, family

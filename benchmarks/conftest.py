@@ -1,0 +1,49 @@
+"""Shared benchmark configuration.
+
+The figure benches regenerate the paper's plots as plain-text tables.  Each
+bench runs its sweep once inside pytest-benchmark (``rounds=1`` -- a sweep
+is minutes of work at paper scale) and prints the same rows the paper's
+figure panels plot.  Tables are also written to ``benchmarks/results/`` so
+they survive output capturing.
+
+Scale knobs (environment variables):
+
+* ``REPRO_TRIALS``      -- trials per data point (default here: 10;
+  the paper uses 1000);
+* ``REPRO_BENCH_FULL``  -- set to 1 to run the paper's full sweep grids
+  (default: a thinned grid so the suite finishes in CI time).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Default trials per point for benches (paper: 1000).
+DEFAULT_TRIALS = 10
+
+
+def trials_per_point() -> int:
+    """Trials per data point, honouring ``REPRO_TRIALS``."""
+    return int(os.environ.get("REPRO_TRIALS", str(DEFAULT_TRIALS)))
+
+
+def full_grid() -> bool:
+    """Whether to run the paper's full sweep grids."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a report table and persist it under benchmarks/results/."""
+    print(f"\n{text}\n")
+    (results_dir / f"{name}.txt").write_text(text + "\n")

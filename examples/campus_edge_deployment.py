@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Scenario: a campus edge network serving a security service chain.
+
+A realistic small deployment: a 4x6 campus grid of WiFi access points with
+five edge cloudlets (two big "machine room" nodes, three small closets).
+A security-camera analytics request must traverse
+
+    firewall -> NAT -> intrusion detection -> video transcoder
+
+with a 99% reliability expectation.  The example walks the *full* lifecycle:
+
+1. DAG-based admission (Section 4.1) places the primary instances against
+   real capacity;
+2. the augmentation problem is built on the post-admission residuals;
+3. the heuristic (Algorithm 2) places backups within 1 hop of each primary;
+4. we inspect where everything landed and what reliability was achieved,
+   then compare against the exact ILP and a larger locality radius.
+
+Run:
+    python examples/campus_edge_deployment.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.netmodel.capacity import CapacityLedger
+from repro.topology.families import grid_topology
+
+
+def build_campus() -> repro.MECNetwork:
+    """4x6 grid of APs; a 2x2 cloudlet block in the core plus two closets.
+
+    The core cloudlets (grid positions (1,2), (1,3), (2,2), (2,3)) are
+    mutually within 1 hop, so l = 1 backups can spread across them; the
+    corner closets (0 and 23) are isolated and only serve primaries placed
+    on them.  Capacities are deliberately tight so no single cloudlet can
+    host the whole chain plus its backups.
+    """
+    graph = grid_topology(4, 6)
+    capacities = {
+        8: 1800.0,   # core (row 1, col 2)
+        9: 1500.0,   # core (row 1, col 3)
+        14: 1500.0,  # core (row 2, col 2)
+        15: 1800.0,  # core (row 2, col 3)
+        0: 1200.0,   # closet (row 0, col 0)
+        23: 1200.0,  # closet (row 3, col 5)
+    }
+    return repro.MECNetwork(graph, capacities)
+
+
+def security_chain() -> repro.ServiceFunctionChain:
+    """The firewall -> NAT -> IDS -> transcoder chain with vendor specs."""
+    return repro.ServiceFunctionChain(
+        [
+            repro.VNFType("firewall", demand=350.0, reliability=0.90),
+            repro.VNFType("nat", demand=250.0, reliability=0.93),
+            repro.VNFType("ids", demand=400.0, reliability=0.85),
+            repro.VNFType("transcoder", demand=600.0, reliability=0.88),
+        ]
+    )
+
+
+def describe(result: repro.AugmentationResult, problem: repro.AugmentationProblem) -> None:
+    counts = result.solution.backup_counts(problem.request.chain.length)
+    print(f"  {result.summary()}")
+    for position, func in enumerate(problem.request.chain):
+        placed = [p.bin for p in result.solution.placements if p.position == position]
+        primary = problem.primary_placement[position]
+        print(
+            f"    {func.name:<10} primary@{primary:<3} backups={counts[position]} "
+            f"on cloudlets {sorted(placed)}"
+        )
+
+
+def main() -> None:
+    network = build_campus()
+    chain = security_chain()
+    request = repro.Request(
+        "camera-analytics", chain, expectation=0.99, source=0, destination=23
+    )
+    print(f"campus: {network.num_nodes} APs, cloudlets at {list(network.cloudlets)}")
+    print(f"chain reliability with primaries only: {chain.primaries_reliability():.4f} "
+          f"(expectation {request.expectation})\n")
+
+    # -- 1. admission ---------------------------------------------------------
+    ledger = CapacityLedger(network.capacities)
+    outcome = repro.admit_request(network, request, ledger)
+    print(f"admission placed primaries on {outcome.placement} "
+          f"(reliability {outcome.reliability:.4f}, "
+          f"meets expectation: {outcome.meets_expectation})\n")
+
+    # -- 2-3. augmentation with Algorithm 2 at l = 1 ---------------------------
+    problem = repro.AugmentationProblem.build(
+        network, request, outcome.placement, radius=1,
+        residuals=ledger.residuals(),
+    )
+    print(f"augmentation problem: {problem.num_items} candidate backups, l=1")
+    heuristic = repro.MatchingHeuristic().solve(problem)
+    describe(heuristic, problem)
+
+    # -- 4. compare against the exact optimum and a looser radius --------------
+    ilp = repro.ILPAlgorithm().solve(problem)
+    print("\nexact ILP on the same instance:")
+    describe(ilp, problem)
+
+    relaxed = repro.AugmentationProblem.build(
+        network, request, outcome.placement, radius=3,
+        residuals=ledger.residuals(),
+    )
+    ilp_relaxed = repro.ILPAlgorithm().solve(relaxed)
+    print(f"\nwith l=3 the optimum reaches {ilp_relaxed.reliability:.4f} "
+          f"(l=1 gave {ilp.reliability:.4f}).")
+    print(
+        "Reading: the admission packed three primaries into the isolated corner\n"
+        "closet, which has no cloudlet neighbours -- at l=1 those functions can\n"
+        "get no backups at all and the 99% expectation is unreachable.  Raising\n"
+        "the state-sync radius to l=3 reaches the core block and recovers most\n"
+        "of the reliability: the locality constraint, not capacity, is what\n"
+        "binds here.  (Compare examples/locality_tradeoff.py, where primaries\n"
+        "land on well-connected cloudlets and l=1 already suffices.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Scenario: what the l-hop constraint actually buys -- failover latency.
+
+The paper restricts backups to within l hops of their primary so that
+primary-to-backup state synchronisation stays fast, but its static model
+never *measures* that benefit.  This example does, with the discrete-event
+failover simulator:
+
+1. build one request and augment it twice -- once with l = 1 (the paper's
+   setting) and once unrestricted (backups anywhere, the prior-work
+   setting);
+2. simulate both placements under identical failure processes, where each
+   failover costs base + per_hop * hops of state-transfer delay;
+3. compare: static reliability (what the paper's objective sees) vs
+   measured availability with its downtime decomposition (dead-position
+   time vs switchover time).
+
+The punchline: unrestricted placement may match or beat l = 1 *statically*
+(more candidate bins), but pays more switchover downtime per failover --
+the latency cost the locality constraint exists to bound.
+
+Run:
+    python examples/failover_dynamics.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.simulation import SimulationConfig, simulate_solution
+from repro.util.tables import format_table
+
+
+def main(seed: int = 13) -> None:
+    graph = repro.generate_gtitm_topology(60, rng=seed)
+    network = repro.build_mec_network(graph, rng=seed)
+    catalog = repro.VNFCatalog.random(reliability_range=(0.75, 0.85), rng=seed)
+    chain = catalog.sample_chain(4, rng=seed)
+    request = repro.Request("dyn", chain, expectation=0.995)
+    primaries = repro.random_primary_placement(network, request, rng=seed)
+    residuals = network.scaled_capacities(0.5)
+
+    config = SimulationConfig(horizon=20_000.0, base_delay=0.002, per_hop_delay=0.01)
+    rows = []
+    for label, radius in (("l = 1 (paper)", 1), ("unrestricted", network.num_nodes - 1)):
+        problem = repro.AugmentationProblem.build(
+            network, request, primaries, radius=radius, residuals=residuals
+        )
+        result = MatchingHeuristic().solve(problem)
+        report = simulate_solution(problem, result.solution, config, rng=seed)
+        rows.append(
+            [
+                label,
+                result.reliability,
+                report.availability,
+                report.dead_fraction,
+                report.switchover_fraction,
+                report.failovers,
+                report.mean_switchover * 1e3,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "placement",
+                "static rel",
+                "measured avail",
+                "dead frac",
+                "switch frac",
+                "failovers",
+                "mean sw (x1e-3)",
+            ],
+            rows,
+            title="Static reliability vs simulated availability "
+            f"(horizon {config.horizon:.0f} MTTR units)",
+        )
+    )
+    print(
+        "\nReading: the 'dead frac' column is what Eq. 1 models (no live\n"
+        "instance anywhere); the 'switch frac' column is the state-transfer\n"
+        "latency the static objective ignores.  Local (l = 1) backups keep\n"
+        "mean switchover low; unrestricted placement pays per-failover for\n"
+        "its extra placement freedom.  Tune per_hop_delay to your control\n"
+        "plane to see where the trade flips."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 13)

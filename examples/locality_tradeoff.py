@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Scenario: the locality radius l -- state-sync latency vs reliability.
+
+The paper restricts every backup to within l hops of its primary so that
+primary-to-backup state updates stay fast; l trades update latency against
+placement freedom.  This example quantifies that trade-off: for one network
+and workload, it sweeps l in {0, 1, 2, 3, unrestricted} and reports the
+achieved reliability and how many candidate placements each radius opens up
+(l = unrestricted reproduces the prior-work setting of Lin et al., where
+backups may go anywhere).
+
+Run:
+    python examples/locality_tradeoff.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.util.tables import format_table
+
+
+def main(seed: int = 7) -> None:
+    graph = repro.generate_gtitm_topology(80, rng=seed)
+    network = repro.build_mec_network(graph, rng=seed)
+    catalog = repro.VNFCatalog.random(rng=seed)
+    chain = catalog.sample_chain(6, rng=seed)
+    request = repro.Request("locality", chain, expectation=0.995)
+    primaries = repro.random_primary_placement(network, request, rng=seed)
+    residuals = network.scaled_capacities(0.25)
+
+    radii: list[tuple[str, int]] = [
+        ("0 (same cloudlet)", 0),
+        ("1 (paper default)", 1),
+        ("2", 2),
+        ("3", 3),
+        ("unrestricted", network.num_nodes - 1),
+    ]
+
+    rows = []
+    for label, radius in radii:
+        problem = repro.AugmentationProblem.build(
+            network, request, primaries, radius=radius, residuals=residuals
+        )
+        result = repro.ILPAlgorithm().solve(problem)
+        candidate_bins = sum(len(it.bins) for it in problem.items)
+        rows.append(
+            [
+                label,
+                problem.num_items,
+                candidate_bins,
+                result.reliability,
+                result.expectation_met,
+            ]
+        )
+
+    print(f"baseline (primaries only): {chain.primaries_reliability():.4f}, "
+          f"expectation {request.expectation}\n")
+    print(
+        format_table(
+            ["l", "items", "item-bin pairs", "reliability", "met 99.5%?"],
+            rows,
+            title="Locality radius vs achievable reliability (exact ILP)",
+        )
+    )
+    print(
+        "\nReading: moving from l=0 to l=1 usually unlocks most of the gain; "
+        "beyond l=2 the extra freedom is marginal, so tight state-sync "
+        "latency budgets cost little reliability."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Scenario: the paper's analytical guarantees vs. what actually happens.
+
+The paper closes by noting its algorithms' "empirical results are superior
+to their analytical counterparts".  This example makes that concrete for
+one instance:
+
+* evaluate Theorem 5.2's quantities (Lambda, N, the premises, the expected
+  approximation ratio, the 2x violation cap) on a default-settings
+  instance;
+* run the randomized algorithm many times and measure the *actual*
+  reliability ratio and peak capacity usage;
+* cross-check the reliability algebra itself with the Monte-Carlo failure
+  simulator (and show what correlated cloudlet failures -- outside the
+  paper's model -- would do to the same placement).
+
+Run:
+    python examples/theory_vs_practice.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.algorithms.ilp_exact import ILPAlgorithm
+from repro.algorithms.randomized import RandomizedRounding
+
+
+def main(seed: int = 11) -> None:
+    instance = repro.make_trial(repro.DEFAULT_SETTINGS, rng=seed)
+    problem = instance.problem
+    print(f"instance: {problem.describe()}\n")
+
+    # -- the analytical counterpart -------------------------------------------
+    optimum = ILPAlgorithm(stop_at_expectation=False).solve(problem)
+    bounds = repro.theorem52_bounds(problem, optimal_reliability=optimum.reliability)
+    print("Theorem 5.2 on this instance:")
+    print(f"  Lambda                  = {bounds.big_lambda:.1f}  (capacity-dominated)")
+    print(f"  N (items)               = {bounds.num_items}")
+    print(f"  success probability     = {bounds.success_probability:.4f}")
+    print(f"  capacity premise met?     {bounds.capacity_premise_met} "
+          f"(needs min C'_v >= 6*Lambda*ln|V|)")
+    print(f"  expected approx ratio   = {bounds.approx_ratio:.3f} (on -log reliability)")
+    print(f"  promised violation cap  = {bounds.violation_factor:.1f}x capacity\n")
+
+    # -- what actually happens --------------------------------------------------
+    ratios, peaks = [], []
+    for i in range(30):
+        result = RandomizedRounding(stop_at_expectation=False).solve(problem, rng=i)
+        ratios.append(result.reliability / optimum.reliability)
+        peaks.append(result.usage_max)
+    print("Randomized rounding, 30 runs:")
+    print(f"  reliability / optimal: mean {np.mean(ratios):.4f}, "
+          f"worst {np.min(ratios):.4f}")
+    print(f"  peak capacity usage:   mean {np.mean(peaks):.3f}, "
+          f"worst {np.max(peaks):.3f} (cap: 2.0)\n")
+
+    # -- validating the algebra itself -----------------------------------------
+    estimate = repro.simulate_chain_reliability(
+        problem, optimum.solution, trials=50_000, rng=seed
+    )
+    print("Monte-Carlo cross-check of the optimal placement:")
+    print(f"  algebra  (Eq. 1): {optimum.reliability:.4f}")
+    print(f"  simulated:        {estimate.reliability:.4f} "
+          f"(+/- {2 * estimate.std_error:.4f})")
+
+    correlated = repro.simulate_chain_reliability(
+        problem, optimum.solution, trials=50_000,
+        cloudlet_failure_prob=0.05, rng=seed,
+    )
+    print(f"  with 5% cloudlet failures (outside the paper's model): "
+          f"{correlated.reliability:.4f}")
+    print(
+        "\nReading: the premises of Theorem 5.2 fail on MHz-scale instances\n"
+        "(Lambda is the max capacity, so 6*Lambda*ln|V| dwarfs every cloudlet),\n"
+        "yet the measured rounding is within a few percent of optimal and far\n"
+        "below the 2x violation cap -- exactly the 'empirical results superior\n"
+        "to their analytical counterparts' the paper reports."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 11)

@@ -1,0 +1,149 @@
+"""Reliability augmentation of SFC requests in mobile edge-cloud networks.
+
+A full reproduction of Liang, Ma, Xu, Jia, Chau, *"Reliability Augmentation
+of Requests with Service Function Chain Requirements in Mobile Edge-Cloud
+Networks"*, ICPP 2020.
+
+Typical use::
+
+    import repro
+
+    graph = repro.generate_gtitm_topology(100, rng=7)
+    network = repro.build_mec_network(graph, rng=7)
+    catalog = repro.VNFCatalog.random(rng=7)
+    request = repro.Request("demo", catalog.sample_chain(5, rng=7), expectation=0.97)
+    primaries = repro.random_primary_placement(network, request, rng=7)
+    problem = repro.AugmentationProblem.build(
+        network, request, primaries,
+        radius=1, residuals=network.scaled_capacities(0.25),
+    )
+    result = repro.MatchingHeuristic().solve(problem)
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure.
+"""
+
+from repro.admission import (
+    AdmissionOutcome,
+    admit_request,
+    random_primary_placement,
+)
+from repro.analysis import Theorem52Bounds, theorem52_bounds
+from repro.algorithms import (
+    AugmentationAlgorithm,
+    GreedyGain,
+    ILPAlgorithm,
+    MatchingHeuristic,
+    NoAugmentation,
+    RandomizedRounding,
+    RepairedRandomizedRounding,
+)
+from repro.core import (
+    AugmentationProblem,
+    AugmentationResult,
+    AugmentationSolution,
+    BackupItem,
+    ItemGenerationConfig,
+    chain_reliability,
+    check_solution,
+    describe_solution,
+    function_reliability,
+    generate_items,
+    item_gain,
+    paper_cost,
+)
+from repro.experiments import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    FigureSeries,
+    make_trial,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_point,
+)
+from repro.experiments.batch import BatchReport, run_request_stream
+from repro.netmodel.failures import (
+    SimulationEstimate,
+    simulate_chain_reliability,
+)
+from repro.simulation import (
+    SimulationConfig,
+    SimulationReport,
+    simulate_solution,
+)
+from repro.netmodel import (
+    CapacityLedger,
+    MECNetwork,
+    Request,
+    ServiceFunctionChain,
+    VNFCatalog,
+    VNFType,
+)
+from repro.topology import (
+    build_mec_network,
+    generate_gtitm_topology,
+)
+from repro.util.errors import (
+    CapacityError,
+    InfeasibleError,
+    ReproError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionOutcome",
+    "AugmentationAlgorithm",
+    "BatchReport",
+    "SimulationConfig",
+    "SimulationEstimate",
+    "SimulationReport",
+    "Theorem52Bounds",
+    "AugmentationProblem",
+    "AugmentationResult",
+    "AugmentationSolution",
+    "BackupItem",
+    "CapacityError",
+    "CapacityLedger",
+    "DEFAULT_SETTINGS",
+    "ExperimentSettings",
+    "FigureSeries",
+    "GreedyGain",
+    "ILPAlgorithm",
+    "InfeasibleError",
+    "ItemGenerationConfig",
+    "MECNetwork",
+    "MatchingHeuristic",
+    "NoAugmentation",
+    "RandomizedRounding",
+    "RepairedRandomizedRounding",
+    "ReproError",
+    "Request",
+    "ServiceFunctionChain",
+    "VNFCatalog",
+    "VNFType",
+    "ValidationError",
+    "admit_request",
+    "build_mec_network",
+    "chain_reliability",
+    "check_solution",
+    "describe_solution",
+    "function_reliability",
+    "generate_gtitm_topology",
+    "generate_items",
+    "item_gain",
+    "make_trial",
+    "paper_cost",
+    "random_primary_placement",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_point",
+    "run_request_stream",
+    "simulate_chain_reliability",
+    "simulate_solution",
+    "theorem52_bounds",
+]

@@ -1,0 +1,32 @@
+"""Initial request admission: primary VNF instance placement (Section 4.1).
+
+Before augmentation, a request's *primary* instances must be placed.  The
+paper adopts the auxiliary-DAG technique of Ma et al. [15]: build a layered
+directed acyclic graph whose layer ``i`` holds the candidate cloudlets for
+function ``f_i``, weight edges by ``-log`` reliability, and read the
+maximum-reliability placement off a shortest path.
+
+Two entry points:
+
+* :func:`~repro.admission.admit.admit_request` -- the DAG-based admission
+  (used by the examples and integration tests);
+* :func:`~repro.admission.admit.random_primary_placement` -- uniform random
+  placement onto cloudlets, which is what the paper's *experiments* use
+  ("Each VNF instance in the primary SFC deployed randomly into cloudlets",
+  Section 7.1).
+"""
+
+from repro.admission.admit import (
+    AdmissionOutcome,
+    admit_request,
+    random_primary_placement,
+)
+from repro.admission.dag import AdmissionDAG, most_reliable_path_weights
+
+__all__ = [
+    "AdmissionDAG",
+    "AdmissionOutcome",
+    "admit_request",
+    "most_reliable_path_weights",
+    "random_primary_placement",
+]

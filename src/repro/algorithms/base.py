@@ -1,0 +1,115 @@
+"""Shared algorithm interface and result assembly.
+
+Every algorithm maps an :class:`AugmentationProblem` to an
+:class:`AugmentationResult`.  The common pieces -- the early exit when the
+admission already meets the expectation (line 2 of both Algorithm 1 and
+Algorithm 2), expectation trimming, usage-ratio computation -- live here so
+each algorithm module contains only its own logic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping
+
+from repro.core.problem import AugmentationProblem
+from repro.core.solution import (
+    AugmentationResult,
+    AugmentationSolution,
+    trim_to_expectation,
+)
+from repro.util.rng import RandomState
+
+
+class AugmentationAlgorithm(abc.ABC):
+    """Interface of every augmentation algorithm.
+
+    Subclasses set :attr:`name` (the label the figures use) and implement
+    :meth:`solve`.
+    """
+
+    #: Label used in results, figures, and logs.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def solve(
+        self, problem: AugmentationProblem, rng: RandomState = None
+    ) -> AugmentationResult:
+        """Run the algorithm on one problem instance.
+
+        Deterministic algorithms ignore ``rng``; the randomized algorithm
+        draws its rounding from it.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def usage_statistics(
+    problem: AugmentationProblem, solution: AugmentationSolution
+) -> tuple[float, float, float, dict[int, float]]:
+    """``(mean, min, max)`` usage ratio over cloudlets with capacity, plus
+    per-cloudlet violation excess.
+
+    Ratios are ``load / residual`` over every cloudlet whose residual is
+    positive (untouched cloudlets contribute 0.0) -- the statistic plotted
+    in Figures 1(b)/2(b)/3(b).
+    """
+    loads = solution.bin_loads()
+    ratios: list[float] = []
+    violations: dict[int, float] = {}
+    for v, residual in problem.residuals.items():
+        if residual <= 0:
+            continue
+        load = loads.get(v, 0.0)
+        ratios.append(load / residual)
+        if load > residual + 1e-6:
+            violations[v] = load - residual
+    if not ratios:
+        return (0.0, 0.0, 0.0, violations)
+    return (sum(ratios) / len(ratios), min(ratios), max(ratios), violations)
+
+
+def finalize_result(
+    problem: AugmentationProblem,
+    solution: AugmentationSolution,
+    algorithm: str,
+    runtime_seconds: float,
+    stop_at_expectation: bool = True,
+    meta: Mapping[str, object] | None = None,
+) -> AugmentationResult:
+    """Assemble an :class:`AugmentationResult` from raw placements.
+
+    Applies the expectation trim (when enabled), recomputes reliability and
+    usage statistics from first principles, and stamps the metadata.
+    """
+    if stop_at_expectation:
+        solution = trim_to_expectation(problem, solution)
+    reliability = solution.reliability(problem)
+    mean, lo, hi, violations = usage_statistics(problem, solution)
+    return AugmentationResult(
+        algorithm=algorithm,
+        solution=solution,
+        reliability=reliability,
+        runtime_seconds=runtime_seconds,
+        expectation_met=problem.request.meets_expectation(reliability),
+        usage_mean=mean,
+        usage_min=lo,
+        usage_max=hi,
+        violations=violations,
+        meta=dict(meta or {}),
+    )
+
+
+def early_exit_result(
+    problem: AugmentationProblem, algorithm: str, runtime_seconds: float = 0.0
+) -> AugmentationResult:
+    """The line-2 early exit: the admission alone meets the expectation."""
+    return finalize_result(
+        problem,
+        AugmentationSolution.empty(),
+        algorithm=algorithm,
+        runtime_seconds=runtime_seconds,
+        stop_at_expectation=False,
+        meta={"early_exit": True},
+    )

@@ -1,0 +1,147 @@
+"""Baseline algorithms for the ablation benches.
+
+The paper compares only its own three algorithms; these baselines position
+them against simpler strategies:
+
+* :class:`NoAugmentation` -- the admission as-is (the floor every
+  augmentation algorithm must beat);
+* :class:`GreedyGain` -- repeatedly place the single feasible item with the
+  highest marginal gain (the textbook greedy for separable concave gains);
+  two bin-selection policies: ``"max_residual"`` (load-balancing, default)
+  and ``"best_fit"`` (tightest bin that fits, classic bin-packing
+  heuristic).
+
+Because per-position gains are concave and items of a position are
+interchangeable, greedy-by-gain is a strong baseline: it only loses to the
+exact ILP through packing effects (demands are heterogeneous across chain
+positions and bins are shared).  The bench quantifies that loss.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.algorithms.base import (
+    AugmentationAlgorithm,
+    early_exit_result,
+    finalize_result,
+)
+from repro.core.problem import AugmentationProblem
+from repro.core.solution import AugmentationResult, AugmentationSolution, Placement
+from repro.netmodel.capacity import CapacityLedger
+from repro.util.errors import ValidationError
+from repro.util.rng import RandomState
+from repro.util.timing import Stopwatch
+
+BIN_POLICIES = ("max_residual", "best_fit")
+
+
+class NoAugmentation(AugmentationAlgorithm):
+    """Place nothing; report the admission's baseline reliability."""
+
+    name = "NoBackup"
+
+    def solve(
+        self, problem: AugmentationProblem, rng: RandomState = None
+    ) -> AugmentationResult:
+        """Return the empty solution immediately."""
+        return finalize_result(
+            problem,
+            AugmentationSolution.empty(),
+            algorithm=self.name,
+            runtime_seconds=0.0,
+            stop_at_expectation=False,
+        )
+
+
+def _pick_max_residual(ledger: CapacityLedger, bins: tuple[int, ...], demand: float) -> int | None:
+    best, best_res = None, -1.0
+    for u in bins:
+        res = ledger.residual(u)
+        if res + 1e-9 >= demand and res > best_res:
+            best, best_res = u, res
+    return best
+
+
+def _pick_best_fit(ledger: CapacityLedger, bins: tuple[int, ...], demand: float) -> int | None:
+    best, best_res = None, float("inf")
+    for u in bins:
+        res = ledger.residual(u)
+        if res + 1e-9 >= demand and res < best_res:
+            best, best_res = u, res
+    return best
+
+
+_PICKERS: dict[str, Callable[[CapacityLedger, tuple[int, ...], float], int | None]] = {
+    "max_residual": _pick_max_residual,
+    "best_fit": _pick_best_fit,
+}
+
+
+class GreedyGain(AugmentationAlgorithm):
+    """Highest-marginal-gain greedy packing.
+
+    Maintains a max-heap keyed by the *next* item gain of each chain
+    position (gains are decreasing in ``k``, so the heap always surfaces
+    the globally best next placement).  Each pop places one item onto a
+    bin chosen by ``bin_policy``; a position whose next item no longer fits
+    anywhere is retired.  Stops at the expectation (optional) or when every
+    position is retired.
+    """
+
+    def __init__(self, bin_policy: str = "max_residual", stop_at_expectation: bool = True):
+        if bin_policy not in BIN_POLICIES:
+            raise ValidationError(
+                f"unknown bin policy {bin_policy!r}; choose from {BIN_POLICIES}"
+            )
+        self.bin_policy = bin_policy
+        self.stop_at_expectation = stop_at_expectation
+        self.name = f"Greedy[{bin_policy}]"
+
+    def solve(
+        self, problem: AugmentationProblem, rng: RandomState = None
+    ) -> AugmentationResult:
+        """Run the greedy packing.  ``rng`` is ignored (deterministic)."""
+        if problem.baseline_meets_expectation:
+            return early_exit_result(problem, self.name)
+
+        pick = _PICKERS[self.bin_policy]
+        grouped = problem.grouped_items()
+        ledger = problem.ledger()
+        counts = [0] * problem.request.chain.length
+        placements: list[Placement] = []
+
+        # heap entries: (-gain, position); the position's pending item is
+        # grouped[position][counts[position]].
+        heap: list[tuple[float, int]] = []
+        for pos, items in grouped.items():
+            if items:
+                heapq.heappush(heap, (-items[0].gain, pos))
+
+        with Stopwatch() as sw:
+            while heap:
+                if self.stop_at_expectation and problem.request.meets_expectation(
+                    problem.reliability_from_counts(counts)
+                ):
+                    break
+                _neg_gain, pos = heapq.heappop(heap)
+                items = grouped[pos]
+                item = items[counts[pos]]
+                bin_ = pick(ledger, item.bins, item.demand)
+                if bin_ is None:
+                    continue  # retire the position: nothing fits anymore
+                ledger.allocate(bin_, item.demand, tag=f"{item.function_name}#{item.k}")
+                placements.append(Placement.of(item, bin_))
+                counts[pos] += 1
+                if counts[pos] < len(items):
+                    heapq.heappush(heap, (-items[counts[pos]].gain, pos))
+
+        return finalize_result(
+            problem,
+            AugmentationSolution(tuple(placements)),
+            algorithm=self.name,
+            runtime_seconds=sw.elapsed,
+            stop_at_expectation=self.stop_at_expectation,
+            meta={"bin_policy": self.bin_policy},
+        )

@@ -1,0 +1,14 @@
+"""Analytical companions to the paper's theory.
+
+* :mod:`~repro.analysis.theory` -- computes, for a concrete problem
+  instance, the quantities Theorem 5.2 reasons about (``Λ``, ``N``, the
+  premise thresholds, the expected approximation ratio, and the violation
+  bound) so empirical runs can be compared against the paper's *analytical
+  counterparts* -- the comparison the paper's conclusion highlights
+  ("their empirical results are superior to their analytical
+  counterparts").
+"""
+
+from repro.analysis.theory import Theorem52Bounds, theorem52_bounds
+
+__all__ = ["Theorem52Bounds", "theorem52_bounds"]

@@ -1,0 +1,119 @@
+"""Instance-level evaluation of Theorem 5.2's analytical guarantees.
+
+Theorem 5.2 promises, for the randomized algorithm with high probability
+``min{1 - 1/N, 1 - 1/|V|^2}``:
+
+* an expected approximation ratio of ``(1/P*)^(1 - 2/Λ)`` on the achieved
+  reliability, and
+* capacity violation at most twice each cloudlet's capacity,
+
+provided ``P* >= 1 / N^(3Λ/log e)`` and ``min_v C_v >= 6 Λ ln |V|``, where
+
+* ``Λ = max{max item cost, max residual capacity, max demand, -log ρ_j}``
+  (Eq. 18),
+* ``N = Σ_i K_i`` is the item count,
+* ``P*`` is the optimal reliability of the request.
+
+:func:`theorem52_bounds` evaluates all of these for a concrete
+:class:`AugmentationProblem` (using the exact ILP's reliability as ``P*``
+when provided), letting the harness report paper-style "analytical
+counterpart" columns next to measured results.  On practical instances the
+premises usually *fail* (capacities are MHz-scale, so ``Λ`` is huge and the
+ratio bound is vacuous) -- which is precisely why the paper observes the
+empirical results to be far better than the analysis; the benches make that
+observation quantitative.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.problem import AugmentationProblem
+
+
+@dataclass(frozen=True)
+class Theorem52Bounds:
+    """Theorem 5.2's quantities evaluated on one instance.
+
+    Attributes
+    ----------
+    big_lambda:
+        ``Λ`` of Eq. (18).
+    num_items:
+        ``N = Σ_i K_i`` (post-truncation item count of the instance).
+    success_probability:
+        ``min{1 - 1/N, 1 - 1/|V|^2}``.
+    capacity_premise_met:
+        Whether ``min_v C'_v >= 6 Λ ln |V|`` over cloudlets with capacity.
+    reliability_premise_met:
+        Whether ``P* >= 1 / N^(3Λ/log e)`` (``None`` when ``P*`` unknown).
+    approx_ratio:
+        The expected approximation ratio ``(1/P*)^(1 - 2/Λ)`` (``None``
+        when ``P*`` unknown; ``inf``-prone when the premises fail).
+    violation_factor:
+        The promised violation cap (2.0, by the theorem).
+    """
+
+    big_lambda: float
+    num_items: int
+    success_probability: float
+    capacity_premise_met: bool
+    reliability_premise_met: bool | None
+    approx_ratio: float | None
+    violation_factor: float = 2.0
+
+
+def theorem52_bounds(
+    problem: AugmentationProblem, optimal_reliability: float | None = None
+) -> Theorem52Bounds:
+    """Evaluate Theorem 5.2's premises and guarantees on ``problem``.
+
+    Parameters
+    ----------
+    problem:
+        The instance (items already generated).
+    optimal_reliability:
+        ``P*`` -- the optimal achievable reliability, e.g. from
+        :class:`~repro.algorithms.ilp_exact.ILPAlgorithm` with
+        ``stop_at_expectation=False``.  Optional; the reliability-dependent
+        quantities are ``None`` without it.
+    """
+    items = problem.items
+    max_cost = max((it.cost for it in items), default=0.0)
+    max_capacity = max(
+        (c for c in problem.residuals.values() if c > 0), default=0.0
+    )
+    max_demand = max((it.demand for it in items), default=0.0)
+    big_lambda = max(max_cost, max_capacity, max_demand, problem.budget)
+
+    num_items = len(items)
+    num_nodes = problem.network.num_nodes
+    if num_items > 0:
+        success = min(1 - 1 / num_items, 1 - 1 / num_nodes**2)
+    else:
+        success = 1 - 1 / num_nodes**2
+
+    positive_caps = [c for c in problem.residuals.values() if c > 0]
+    capacity_premise = bool(positive_caps) and min(positive_caps) >= (
+        6 * big_lambda * math.log(num_nodes)
+    )
+
+    reliability_premise: bool | None = None
+    approx_ratio: float | None = None
+    if optimal_reliability is not None and num_items > 0:
+        if not (0.0 < optimal_reliability <= 1.0):
+            raise ValueError(f"optimal reliability must be in (0, 1], got {optimal_reliability}")
+        threshold = num_items ** (-3 * big_lambda / math.log10(math.e))
+        reliability_premise = optimal_reliability >= threshold
+        exponent = 1 - 2 / big_lambda if big_lambda > 0 else 1.0
+        approx_ratio = (1 / optimal_reliability) ** exponent
+
+    return Theorem52Bounds(
+        big_lambda=big_lambda,
+        num_items=num_items,
+        success_probability=success,
+        capacity_premise_met=capacity_premise,
+        reliability_premise_met=reliability_premise,
+        approx_ratio=approx_ratio,
+    )

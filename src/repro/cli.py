@@ -1,0 +1,183 @@
+"""Command-line interface for the experiment harness.
+
+Run the paper's figure sweeps (or the ablations) without writing code::
+
+    python -m repro.cli fig1 --trials 20 --seed 7
+    python -m repro.cli fig3 --trials 50 --fractions 0.0625 0.25 1.0 --chart
+    python -m repro.cli ablate radius --trials 10
+    python -m repro.cli batch --requests 80 --algorithm heuristic
+
+Tables are printed to stdout in the same format the benchmark suite emits;
+``--chart`` adds ASCII line charts, ``--csv PATH`` writes a tidy CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.algorithms.baselines import GreedyGain
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.algorithms.ilp_exact import ILPAlgorithm
+from repro.experiments.ablations import (
+    run_expectation_ablation,
+    run_radius_ablation,
+    run_truncation_ablation,
+)
+from repro.experiments.ascii_plots import (
+    render_reliability_chart,
+    render_runtime_chart,
+)
+from repro.experiments.batch import run_joint_comparison, run_request_stream
+from repro.experiments.figures import FigureSeries, run_figure1, run_figure2, run_figure3
+from repro.experiments.reporting import render_figure
+from repro.experiments.serialization import write_series_csv
+from repro.experiments.settings import DEFAULT_SETTINGS
+from repro.util.tables import format_table
+
+ALGORITHMS = {
+    "ilp": ILPAlgorithm,
+    "heuristic": MatchingHeuristic,
+    "greedy": GreedyGain,
+}
+
+ABLATIONS = {
+    "radius": run_radius_ablation,
+    "truncation": run_truncation_ablation,
+    "expectation": run_expectation_ablation,
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trials", type=int, default=10, help="trials per data point")
+    parser.add_argument("--seed", type=int, default=1, help="root RNG seed")
+    parser.add_argument(
+        "--chart", action="store_true", help="also render ASCII line charts"
+    )
+    parser.add_argument("--csv", metavar="PATH", help="write the series as tidy CSV")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ICPP'20 reliability-augmentation experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig1 = sub.add_parser("fig1", help="Figure 1: sweep SFC length")
+    _add_common(fig1)
+    fig1.add_argument(
+        "--lengths", type=int, nargs="+", default=[2, 6, 10, 14, 20]
+    )
+
+    fig2 = sub.add_parser("fig2", help="Figure 2: sweep function reliability")
+    _add_common(fig2)
+
+    fig3 = sub.add_parser("fig3", help="Figure 3: sweep residual capacity")
+    _add_common(fig3)
+    fig3.add_argument(
+        "--fractions", type=float, nargs="+", default=[1 / 16, 1 / 8, 1 / 4, 1 / 2, 1.0]
+    )
+
+    ablate = sub.add_parser("ablate", help="design-dimension ablations")
+    ablate.add_argument("dimension", choices=sorted(ABLATIONS))
+    _add_common(ablate)
+
+    batch = sub.add_parser("batch", help="system-level request stream")
+    _add_common(batch)
+    batch.add_argument("--requests", type=int, default=50)
+    batch.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="heuristic"
+    )
+
+    joint = sub.add_parser(
+        "joint", help="sequential vs clairvoyant-joint SLO comparison"
+    )
+    _add_common(joint)
+    joint.add_argument("--requests", type=int, default=8)
+    joint.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="heuristic"
+    )
+    return parser
+
+
+def _emit_series(series: FigureSeries, args: argparse.Namespace) -> None:
+    print(render_figure(series))
+    if args.chart:
+        print()
+        print(render_reliability_chart(series))
+        print()
+        print(render_runtime_chart(series))
+    if args.csv:
+        path = write_series_csv(series, args.csv)
+        print(f"\nwrote {path}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "fig1":
+        series = run_figure1(
+            DEFAULT_SETTINGS, sfc_lengths=args.lengths, trials=args.trials, rng=args.seed
+        )
+        _emit_series(series, args)
+    elif args.command == "fig2":
+        series = run_figure2(DEFAULT_SETTINGS, trials=args.trials, rng=args.seed)
+        _emit_series(series, args)
+    elif args.command == "fig3":
+        series = run_figure3(
+            DEFAULT_SETTINGS, fractions=args.fractions, trials=args.trials, rng=args.seed
+        )
+        _emit_series(series, args)
+    elif args.command == "ablate":
+        series = ABLATIONS[args.dimension](
+            DEFAULT_SETTINGS, trials=args.trials, rng=args.seed
+        )
+        _emit_series(series, args)
+    elif args.command == "joint":
+        comparison = run_joint_comparison(
+            DEFAULT_SETTINGS,
+            ALGORITHMS[args.algorithm](),
+            num_requests=args.requests,
+            rng=args.seed,
+        )
+        rows = [
+            ["requests admitted", comparison.num_requests],
+            ["SLOs met (sequential)", comparison.sequential_met],
+            ["SLOs met (joint ILP)", comparison.joint_met],
+            ["mean reliability (sequential)", comparison.sequential_mean_reliability],
+            ["mean reliability (joint ILP)", comparison.joint_mean_reliability],
+        ]
+        print(
+            format_table(
+                ["metric", "value"],
+                rows,
+                title=f"price of sequential admission ({args.algorithm}, seed {args.seed})",
+            )
+        )
+    elif args.command == "batch":
+        report = run_request_stream(
+            DEFAULT_SETTINGS,
+            ALGORITHMS[args.algorithm](),
+            num_requests=args.requests,
+            rng=args.seed,
+        )
+        rows = [
+            ["requests", report.num_requests],
+            ["acceptance rate", report.acceptance_rate],
+            ["expectation met (admitted)", report.expectation_met_rate],
+            ["mean reliability (admitted)", report.mean_reliability],
+            ["final capacity utilisation", report.final_utilisation],
+        ]
+        print(
+            format_table(
+                ["metric", "value"],
+                rows,
+                title=f"request stream ({args.algorithm}, seed {args.seed})",
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Core problem model: reliability algebra, BMCGAP items, problem/solution.
+
+This subpackage encodes Sections 3-4 of the paper:
+
+* :mod:`~repro.core.reliability` -- the reliability algebra of Section 3.1
+  (Eq. 1-2) and the item cost model of Section 4.2-4.3 (Eq. 3-4), plus the
+  marginal *gain* formulation the solvers optimise (see DESIGN.md section 1);
+* :mod:`~repro.core.items` -- the reduction of the augmentation problem to
+  a budgeted minimum-cost generalized assignment problem: candidate item
+  generation with ``K_i`` counts, per-item costs/gains, and allowed bins;
+* :mod:`~repro.core.problem` -- :class:`AugmentationProblem`, an immutable
+  snapshot of one problem instance that every algorithm consumes;
+* :mod:`~repro.core.solution` -- :class:`AugmentationSolution` and
+  :class:`AugmentationResult`, the common output format;
+* :mod:`~repro.core.validation` -- re-checks every invariant the paper's
+  theory promises (capacity, locality, prefix structure, reliability
+  accounting).
+"""
+
+from repro.core.items import BackupItem, ItemGenerationConfig, generate_items
+from repro.core.problem import AugmentationProblem
+from repro.core.reliability import (
+    chain_reliability,
+    function_reliability,
+    item_gain,
+    marginal_increment,
+    paper_cost,
+)
+from repro.core.solution import (
+    AugmentationResult,
+    AugmentationSolution,
+    describe_solution,
+)
+from repro.core.validation import check_solution
+
+__all__ = [
+    "AugmentationProblem",
+    "AugmentationResult",
+    "AugmentationSolution",
+    "BackupItem",
+    "ItemGenerationConfig",
+    "chain_reliability",
+    "check_solution",
+    "describe_solution",
+    "function_reliability",
+    "generate_items",
+    "item_gain",
+    "marginal_increment",
+    "paper_cost",
+]

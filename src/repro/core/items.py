@@ -1,0 +1,255 @@
+"""BMCGAP item generation (Section 4.2-4.3 reduction).
+
+For each chain position ``i`` with function ``f_i`` whose primary instance
+sits on cloudlet ``v_i``, the reduction creates up to
+
+    K_i = sum_{u in N_l^+(v_i), u cloudlet} floor(C'_u / c(f_i))
+
+candidate items, the k-th of which represents "the k-th secondary instance
+of position i".  Item ``(i, k)`` may be packed into any *allowed bin*: a
+cloudlet ``u in N_l^+(v_i)`` with residual capacity at least ``c(f_i)`` at
+generation time.  Its paper cost is ``c(f_i, k, u) = -log(r_i (1-r_i)^k)``
+(identical across allowed bins) and its solver gain is
+``g_i(k) = log R_i(k) - log R_i(k-1)``.
+
+Items whose primary's neighborhood contains no usable cloudlet simply do not
+exist -- Eqs. (11)-(13) of the ILP are realised as variable elimination, not
+as big-M rows.
+
+Truncation.  ``K_i`` as defined can be large (tens of items per position at
+full capacity) while the gain of the k-th backup decays geometrically like
+``(1 - r)^k``.  :class:`ItemGenerationConfig` therefore supports two sound
+truncations, both enabled by default:
+
+* ``gain_floor``: drop items whose gain falls below a floor (default 1e-12
+  -- far below float-representable differences in the reported reliability);
+* ``budget_headroom``: drop items beyond the prefix length at which the
+  *single* function could absorb the entire gain still needed to reach the
+  expectation, ``(-log u_baseline) - (-log rho_j)``, with slack (a solution
+  placing more backups of one function than that has already reached the
+  expectation, so the surplus would be trimmed anyway).  Only sound under
+  the stop-at-expectation semantics -- max-fill studies should use
+  :meth:`ItemGenerationConfig.exact`.
+
+Set both to ``None`` to generate the literal ``K_i`` items of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.reliability import cumulative_gain, item_gain, paper_cost
+from repro.netmodel.neighborhoods import NeighborhoodIndex
+from repro.netmodel.vnf import Request
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class BackupItem:
+    """One candidate secondary VNF instance -- an item of the BMCGAP.
+
+    Attributes
+    ----------
+    position:
+        Chain position index ``i`` (0-based) this backup belongs to.
+    k:
+        Backup ordinal within the position, ``1 <= k <= K_i``.
+    function_name:
+        Name of the VNF type at the position (diagnostics only).
+    demand:
+        Computing resource ``c(f_i)`` one instance consumes.
+    gain:
+        Solver gain ``g_i(k)`` (reduction of ``-log u_j``).
+    cost:
+        Paper cost ``c(f_i, k, .)`` -- identical for every allowed bin.
+    bins:
+        Allowed cloudlets: ``u in N_l^+(v_i)`` with enough residual capacity
+        for at least one instance at generation time.
+    """
+
+    position: int
+    k: int
+    function_name: str
+    demand: float
+    gain: float
+    cost: float
+    bins: tuple[int, ...]
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """``(position, k)`` -- unique identity of the item in a problem."""
+        return (self.position, self.k)
+
+
+@dataclass(frozen=True)
+class ItemGenerationConfig:
+    """Controls of the BMCGAP item generation.
+
+    Attributes
+    ----------
+    gain_floor:
+        Drop items with gain below this value (``None`` disables).
+    budget_headroom:
+        When set (default), per-position item counts are additionally capped
+        at the smallest prefix whose cumulative gain reaches
+        ``budget * (1 + budget_headroom)`` -- items beyond that can never be
+        part of a budget-respecting optimal prefix.  ``None`` disables.
+    max_backups_per_function:
+        Hard per-position cap, applied last (``None`` disables).
+    """
+
+    gain_floor: float | None = 1e-12
+    budget_headroom: float | None = 0.5
+    max_backups_per_function: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.gain_floor is not None and self.gain_floor < 0:
+            raise ValidationError(f"gain_floor must be >= 0, got {self.gain_floor}")
+        if self.budget_headroom is not None and self.budget_headroom < 0:
+            raise ValidationError(f"budget_headroom must be >= 0, got {self.budget_headroom}")
+        if self.max_backups_per_function is not None and self.max_backups_per_function < 0:
+            raise ValidationError(
+                f"max_backups_per_function must be >= 0, got {self.max_backups_per_function}"
+            )
+
+    @classmethod
+    def exact(cls) -> "ItemGenerationConfig":
+        """No truncation: generate the paper's literal ``K_i`` items."""
+        return cls(gain_floor=None, budget_headroom=None, max_backups_per_function=None)
+
+
+def capacity_bound_items(
+    residuals: Mapping[int, float], bins: Sequence[int], demand: float
+) -> int:
+    """``K_i = sum_{u in bins} floor(C'_u / demand)`` (Section 4.3)."""
+    if demand <= 0:
+        raise ValidationError(f"demand must be > 0, got {demand}")
+    total = 0
+    for u in bins:
+        residual = residuals.get(u, 0.0)
+        if residual > 0:
+            total += int((residual + 1e-9) / demand)
+    return total
+
+
+def generate_items(
+    request: Request,
+    primary_placement: Sequence[int],
+    neighborhoods: NeighborhoodIndex,
+    residuals: Mapping[int, float],
+    config: ItemGenerationConfig | None = None,
+) -> list[BackupItem]:
+    """Generate the BMCGAP items of an augmentation instance.
+
+    Parameters
+    ----------
+    request:
+        The admitted request (chain + expectation).
+    primary_placement:
+        Cloudlet node id ``v_i`` hosting the primary of each chain position;
+        must have one entry per chain position.
+    neighborhoods:
+        ``l``-hop neighborhood index built over the AP graph *with*
+        cloudlet restriction (see :meth:`MECNetwork.neighborhoods`).
+    residuals:
+        Residual capacity per cloudlet at generation time.
+    config:
+        Truncation controls; defaults to the sound truncations described in
+        the module docstring.
+
+    Returns
+    -------
+    list[BackupItem]
+        Items sorted by ``(position, k)``.  Positions whose neighborhood has
+        no usable cloudlet contribute no items.
+    """
+    chain = request.chain
+    if len(primary_placement) != chain.length:
+        raise ValidationError(
+            f"primary placement has {len(primary_placement)} entries "
+            f"for a chain of length {chain.length}"
+        )
+    config = config or ItemGenerationConfig()
+    # Gain still needed to lift the baseline (primaries-only) reliability to
+    # the expectation: (-log u_baseline) - (-log rho_j).
+    needed_gain = max(
+        0.0, -math.log(chain.primaries_reliability()) - request.budget
+    )
+
+    items: list[BackupItem] = []
+    for i, func in enumerate(chain):
+        v = primary_placement[i]
+        candidate_bins = tuple(
+            u
+            for u in neighborhoods.closed_cloudlets(v)
+            if residuals.get(u, 0.0) + 1e-9 >= func.demand
+        )
+        if not candidate_bins:
+            continue
+
+        k_max = capacity_bound_items(residuals, candidate_bins, func.demand)
+        if config.budget_headroom is not None and func.reliability < 1.0:
+            k_max = min(
+                k_max, _budget_cap(func.reliability, needed_gain, config.budget_headroom)
+            )
+        if config.max_backups_per_function is not None:
+            k_max = min(k_max, config.max_backups_per_function)
+
+        for k in range(1, k_max + 1):
+            gain = item_gain(func.reliability, k)
+            if config.gain_floor is not None and gain < config.gain_floor:
+                break  # gains are decreasing in k; nothing further survives
+            items.append(
+                BackupItem(
+                    position=i,
+                    k=k,
+                    function_name=func.name,
+                    demand=func.demand,
+                    gain=gain,
+                    cost=paper_cost(func.reliability, k),
+                    bins=candidate_bins,
+                )
+            )
+    return items
+
+
+def _budget_cap(r: float, needed_gain: float, headroom: float) -> int:
+    """Smallest prefix length whose cumulative gain covers the needed gain.
+
+    An optimal expectation-stopping solution never uses more than this many
+    backups of one function: the cumulative gain of the prefix alone already
+    exceeds the entire gain still needed (with ``headroom`` slack), so any
+    solution using more has reached the expectation and would be trimmed.
+    A single extra item of slack is kept so trimming decisions stay interior.
+    """
+    if needed_gain <= 0:
+        return 0
+    target = needed_gain * (1.0 + headroom)
+    k = 1
+    # cumulative_gain(r, k) -> -log r as k -> inf; if even the limit cannot
+    # cover the padded budget, the cap is not binding -- return a count high
+    # enough that capacity/gain-floor truncation dominates instead.
+    limit = -math.log(r)
+    if limit <= target:
+        return 1_000_000
+    while cumulative_gain(r, k) < target:
+        k += 1
+    return k + 1  # one item of slack beyond the covering prefix
+
+
+def items_by_position(items: Sequence[BackupItem]) -> dict[int, list[BackupItem]]:
+    """Group items by chain position, each group sorted by ``k``."""
+    grouped: dict[int, list[BackupItem]] = {}
+    for item in items:
+        grouped.setdefault(item.position, []).append(item)
+    for group in grouped.values():
+        group.sort(key=lambda it: it.k)
+        for expected_k, item in enumerate(group, start=1):
+            if item.k != expected_k:
+                raise ValidationError(
+                    f"items of position {item.position} are not a contiguous prefix: "
+                    f"expected k={expected_k}, found k={item.k}"
+                )
+    return grouped

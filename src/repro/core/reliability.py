@@ -1,0 +1,208 @@
+"""Reliability algebra of Sections 3.1 and 4.2-4.3.
+
+Let ``r`` be the reliability of one VNF instance of a function ``f`` and let
+``k >= 0`` be the number of *secondary* (backup) instances placed in addition
+to the always-present primary.  The paper's quantities, all implemented
+here:
+
+* accumulative function reliability (Eq. 1 with identical instance
+  reliabilities, and the closed form below Eq. 4)::
+
+      R(f, k) = 1 - (1 - r)^(k + 1)
+
+* request reliability ``u_j = prod_i R_i`` over the chain positions;
+
+* the BMCGAP item cost (Eq. 3-4)::
+
+      c(f, k, u) = -log(R(f, k) - R(f, k - 1)) = -log(r (1 - r)^k),  k >= 1
+      c(f, 0, v) = -log(R(f, 0))               = -log(r)
+
+  which is strictly increasing in ``k`` (Lemma 4.1: consecutive costs differ
+  by ``log(1 / (1 - r)) > 0``);
+
+* the marginal *gain* of the k-th backup, i.e. the reduction of the
+  ``-log u_j`` objective (Ineq. 2) it contributes::
+
+      g(f, k) = log R(f, k) - log R(f, k - 1) > 0,  k >= 1
+
+  which is strictly *decreasing* in ``k`` (diminishing returns).  The gain
+  formulation is what the exact solvers maximise; see DESIGN.md section 1
+  for why it is the internally consistent reading of the paper's objective
+  (Eqs. 5-7) and why both orderings select the same per-function prefixes.
+
+All logarithms are natural; the budget ``C = -log(rho_j)`` (Section 4.3)
+uses the same base so costs and budget are directly comparable.
+
+Edge cases: ``r == 1`` makes every backup worthless -- ``R(f, k) = 1`` for
+all ``k``, gains are 0 and paper costs of backups are ``+inf``.  The
+functions below handle that limit explicitly instead of emitting NaNs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.util.errors import ValidationError
+
+
+def _check_r(r: float) -> None:
+    if not (0.0 < r <= 1.0):
+        raise ValidationError(f"instance reliability must be in (0, 1], got {r}")
+
+
+def _check_k(k: int) -> None:
+    if k < 0:
+        raise ValidationError(f"backup count must be >= 0, got {k}")
+
+
+def function_reliability(r: float, k: int) -> float:
+    """``R(f, k) = 1 - (1 - r)^(k + 1)``: reliability with ``k`` backups.
+
+    ``k = 0`` means the primary alone, so ``R(f, 0) = r``.
+    """
+    _check_r(r)
+    _check_k(k)
+    if r >= 1.0:
+        return 1.0
+    return 1.0 - (1.0 - r) ** (k + 1)
+
+
+def marginal_increment(r: float, k: int) -> float:
+    """``R(f, k) - R(f, k - 1) = r (1 - r)^k`` for ``k >= 1``.
+
+    For ``k = 0`` the paper defines the "increment" as ``R(f, 0) = r``
+    itself (Eq. 4's base case); the closed form ``r (1 - r)^0 = r`` agrees,
+    so a single expression covers both.
+    """
+    _check_r(r)
+    _check_k(k)
+    if r >= 1.0:
+        return 1.0 if k == 0 else 0.0
+    return r * (1.0 - r) ** k
+
+
+def paper_cost(r: float, k: int) -> float:
+    """The BMCGAP item cost ``c(f, k, .) = -log(r (1 - r)^k)`` (Eq. 3-4).
+
+    Computed in log space (``-log r - k log(1 - r)``) so large ``k`` does not
+    underflow.  Returns ``+inf`` for ``k >= 1`` when ``r == 1`` (a backup of
+    a perfect instance adds nothing; its "increment" is zero).
+    """
+    _check_r(r)
+    _check_k(k)
+    if r >= 1.0:
+        return 0.0 if k == 0 else math.inf
+    return -math.log(r) - k * math.log1p(-r)
+
+
+def item_gain(r: float, k: int) -> float:
+    """``g(f, k) = log R(f, k) - log R(f, k - 1)`` for ``k >= 1``.
+
+    The reduction of the chain's ``-log`` reliability objective achieved by
+    adding the k-th backup.  Strictly positive for ``r < 1`` and strictly
+    decreasing in ``k``; zero when ``r == 1``.
+    """
+    _check_r(r)
+    if k < 1:
+        raise ValidationError(f"gains are defined for k >= 1, got {k}")
+    if r >= 1.0:
+        return 0.0
+    return math.log(function_reliability(r, k)) - math.log(function_reliability(r, k - 1))
+
+
+def cumulative_gain(r: float, k: int) -> float:
+    """``sum_{j=1..k} g(f, j) = log R(f, k) - log r`` -- total gain of ``k`` backups."""
+    _check_r(r)
+    _check_k(k)
+    if r >= 1.0 or k == 0:
+        return 0.0
+    return math.log(function_reliability(r, k)) - math.log(r)
+
+
+def backups_needed(r: float, target: float) -> int:
+    """Smallest ``k`` with ``R(f, k) >= target`` (``inf``-safe; target <= 1).
+
+    Solves ``1 - (1 - r)^(k + 1) >= target`` for the least integer ``k``.
+    Returns 0 when the primary alone suffices.  Raises if the target is 1.0
+    but ``r < 1`` (unreachable with finitely many instances).
+    """
+    _check_r(r)
+    if not (0.0 < target <= 1.0):
+        raise ValidationError(f"target must be in (0, 1], got {target}")
+    if r >= target or r >= 1.0:
+        return 0
+    if target >= 1.0:
+        raise ValidationError("target 1.0 is unreachable with imperfect instances")
+    # (1 - r)^(k+1) <= 1 - target  <=>  k + 1 >= log(1 - target) / log(1 - r)
+    k_plus_1 = math.log1p(-target) / math.log1p(-r)
+    k = max(0, math.ceil(k_plus_1 - 1.0 - 1e-12))
+    while function_reliability(r, k) < target - 1e-15:  # float safety
+        k += 1
+    return k
+
+
+def chain_reliability(
+    reliabilities: Sequence[float], backup_counts: Sequence[int] | None = None
+) -> float:
+    """Request reliability ``u_j = prod_i R_i(m_i)`` (Section 3.1).
+
+    Parameters
+    ----------
+    reliabilities:
+        Per-position instance reliabilities ``r_i``.
+    backup_counts:
+        Per-position secondary counts ``m_i``; defaults to all zeros
+        (primaries only), giving ``prod_i r_i``.
+    """
+    if backup_counts is None:
+        backup_counts = [0] * len(reliabilities)
+    if len(backup_counts) != len(reliabilities):
+        raise ValidationError(
+            f"got {len(reliabilities)} reliabilities but {len(backup_counts)} backup counts"
+        )
+    product = 1.0
+    for r, k in zip(reliabilities, backup_counts):
+        product *= function_reliability(r, int(k))
+    return product
+
+
+def neg_log_chain_reliability(
+    reliabilities: Sequence[float], backup_counts: Sequence[int] | None = None
+) -> float:
+    """``-log u_j = sum_i -log R_i(m_i)`` -- the paper's objective (5)."""
+    if backup_counts is None:
+        backup_counts = [0] * len(reliabilities)
+    if len(backup_counts) != len(reliabilities):
+        raise ValidationError(
+            f"got {len(reliabilities)} reliabilities but {len(backup_counts)} backup counts"
+        )
+    total = 0.0
+    for r, k in zip(reliabilities, backup_counts):
+        R = function_reliability(r, int(k))
+        total += -math.log(R)
+    return total
+
+
+def total_paper_cost(r: float, k: int) -> float:
+    """``sum_{j=0..k} c(f, j, .)`` -- the paper-cost of a prefix of ``k`` backups
+    *including* the primary's base cost ``-log r`` (Eq. 4's ``k = 0`` term)."""
+    _check_r(r)
+    _check_k(k)
+    if r >= 1.0:
+        return 0.0 if k == 0 else math.inf
+    # sum_{j=0..k} (-log r - j log(1-r)) = (k+1)(-log r) - k(k+1)/2 log(1-r)
+    return (k + 1) * (-math.log(r)) - (k * (k + 1) / 2.0) * math.log1p(-r)
+
+
+def big_m_cost(costs: Iterable[float], factor: float = 100.0) -> float:
+    """The paper's ``M``: a prohibitively large placement cost.
+
+    Section 4.2 sets ``M = 100 * max`` over all finite item costs.  Used by
+    model layers that keep forbidden placements as explicit high-cost edges
+    rather than eliminating the variables.
+    """
+    finite = [c for c in costs if math.isfinite(c)]
+    if not finite:
+        return factor
+    return factor * max(finite)

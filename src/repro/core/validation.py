@@ -1,0 +1,168 @@
+"""Solution feasibility checking.
+
+Re-verifies, independently of any algorithm's own bookkeeping, every
+structural guarantee the paper's theory promises:
+
+* **capacity** (Eq. 9 / Theorem 6.2): total demand placed on each cloudlet
+  does not exceed its residual capacity -- unless the caller explicitly
+  allows violations, in which case the excess is *reported* rather than
+  flagged (the randomized algorithm's regime, Theorem 5.2);
+* **locality** (Eq. 12): every placement's bin lies within ``l`` hops of
+  the corresponding primary's cloudlet and hosts a cloudlet;
+* **item validity** (Eqs. 11/13): each placed item was actually generated
+  (the bin had room for at least one instance at generation time) and no
+  item is placed twice (Eq. 8);
+* **prefix structure** (Lemma 4.2 / Lemma 6.1): per position, the placed
+  ``k`` values form the prefix ``1..m_i`` (optional -- pre-repair randomized
+  roundings legitimately break it);
+* **reliability accounting**: the solution's claimed reliability matches a
+  recomputation from first principles (Eq. 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.problem import AugmentationProblem
+from repro.core.reliability import chain_reliability
+from repro.core.solution import AugmentationSolution
+from repro.util.errors import ValidationError
+
+#: Absolute slack for float capacity comparisons (MHz scale).
+_CAP_EPS = 1e-6
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`check_solution`.
+
+    ``issues`` holds human-readable descriptions of hard violations;
+    ``capacity_excess`` reports per-cloudlet overload (only an issue when
+    violations are disallowed).
+    """
+
+    issues: list[str] = field(default_factory=list)
+    capacity_excess: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no hard issues were found."""
+        return not self.issues
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`ValidationError` listing all issues, if any."""
+        if self.issues:
+            raise ValidationError("; ".join(self.issues))
+
+
+def check_solution(
+    problem: AugmentationProblem,
+    solution: AugmentationSolution,
+    allow_capacity_violation: bool = False,
+    require_prefix: bool = True,
+    claimed_reliability: float | None = None,
+) -> ValidationReport:
+    """Validate ``solution`` against ``problem``; see module docstring.
+
+    Parameters
+    ----------
+    allow_capacity_violation:
+        When True (randomized algorithm), capacity overloads are recorded in
+        :attr:`ValidationReport.capacity_excess` but are not issues.
+    require_prefix:
+        When True, the Lemma 4.2 prefix structure is enforced.
+    claimed_reliability:
+        When given, cross-checked against a recomputation.
+    """
+    report = ValidationReport()
+    chain = problem.request.chain
+    item_index = {(it.position, it.k): it for it in problem.items}
+
+    # -- item validity, locality, and duplicate detection ----------------------
+    seen: set[tuple[int, int]] = set()
+    for p in solution.placements:
+        key = (p.position, p.k)
+        if key in seen:
+            report.issues.append(f"item {key} placed more than once (Eq. 8)")
+            continue
+        seen.add(key)
+
+        item = item_index.get(key)
+        if item is None:
+            report.issues.append(f"placement of non-generated item {key} (Eqs. 11/13)")
+            continue
+        if p.bin not in item.bins:
+            report.issues.append(
+                f"item {key} placed on disallowed bin {p.bin} "
+                f"(allowed: {item.bins}) (Eq. 12)"
+            )
+        if not problem.network.is_cloudlet(p.bin):
+            report.issues.append(f"item {key} placed on non-cloudlet node {p.bin}")
+        primary = problem.primary_placement[p.position]
+        if not problem.neighborhoods.contains(primary, p.bin):
+            report.issues.append(
+                f"item {key} placed {p.bin} outside N_{problem.radius}^+"
+                f"({primary}) (Eq. 12)"
+            )
+        if not math.isclose(p.demand, item.demand, rel_tol=1e-12):
+            report.issues.append(
+                f"item {key} demand mismatch: placement says {p.demand}, "
+                f"item says {item.demand}"
+            )
+
+    # -- capacity (Eq. 9) --------------------------------------------------------
+    for bin_, load in solution.bin_loads().items():
+        residual = problem.residuals.get(bin_, 0.0)
+        excess = load - residual
+        if excess > _CAP_EPS:
+            report.capacity_excess[bin_] = excess
+            if not allow_capacity_violation:
+                report.issues.append(
+                    f"cloudlet {bin_} overloaded by {excess:.3f} "
+                    f"(load {load:.3f} > residual {residual:.3f}) (Eq. 9)"
+                )
+
+    # -- prefix structure (Lemma 4.2) ---------------------------------------------
+    if require_prefix and not solution.is_prefix_per_position():
+        report.issues.append("placed k values are not per-position prefixes (Lemma 4.2)")
+
+    # -- reliability accounting ---------------------------------------------------
+    counts = solution.backup_counts(chain.length)
+    recomputed = chain_reliability(problem.reliabilities, counts)
+    if claimed_reliability is not None and not math.isclose(
+        claimed_reliability, recomputed, rel_tol=1e-9, abs_tol=1e-12
+    ):
+        report.issues.append(
+            f"claimed reliability {claimed_reliability!r} != recomputed {recomputed!r}"
+        )
+
+    return report
+
+
+def check_violation_bound(
+    problem: AugmentationProblem,
+    solution: AugmentationSolution,
+    factor: float = 2.0,
+) -> ValidationReport:
+    """Theorem 5.2's empirical check: load at every cloudlet is below
+    ``factor`` times its residual capacity.
+
+    The theorem promises the factor-2 bound only *with high probability* and
+    under its premises (``C_v >= 6 * Lambda * ln|V|``), so the harness treats
+    a failure here as a statistic to report, not a hard error.
+    """
+    report = ValidationReport()
+    for bin_, load in solution.bin_loads().items():
+        residual = problem.residuals.get(bin_, 0.0)
+        if residual <= 0:
+            if load > _CAP_EPS:
+                report.issues.append(f"cloudlet {bin_} has load {load:.3f} with no capacity")
+            continue
+        ratio = load / residual
+        if ratio > factor + 1e-9:
+            report.issues.append(
+                f"cloudlet {bin_} load ratio {ratio:.3f} exceeds bound {factor}"
+            )
+            report.capacity_excess[bin_] = load - residual
+    return report

@@ -1,0 +1,44 @@
+"""Experiment harness reproducing Section 7 of the paper.
+
+* :mod:`~repro.experiments.settings` -- the default parameters of
+  Section 7.1 as one frozen dataclass;
+* :mod:`~repro.experiments.workload` -- per-trial instance generation
+  (topology, catalog, request, primary placement, residual scaling);
+* :mod:`~repro.experiments.runner` -- run a set of algorithms over many
+  trials and aggregate the statistics the figures plot;
+* :mod:`~repro.experiments.figures` -- the sweeps behind Figures 1, 2, 3
+  (each with its (a) reliability, (b) usage, (c) running-time panels);
+* :mod:`~repro.experiments.reporting` -- plain-text rendering of series.
+"""
+
+from repro.experiments.figures import (
+    FigureSeries,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+)
+from repro.experiments.runner import AggregateStats, TrialOutcome, run_point
+from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+from repro.experiments.workload import TrialInstance, make_trial
+from repro.experiments.reporting import (
+    render_reliability_panel,
+    render_runtime_panel,
+    render_usage_panel,
+)
+
+__all__ = [
+    "AggregateStats",
+    "DEFAULT_SETTINGS",
+    "ExperimentSettings",
+    "FigureSeries",
+    "TrialInstance",
+    "TrialOutcome",
+    "make_trial",
+    "render_reliability_panel",
+    "render_runtime_panel",
+    "render_usage_panel",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_point",
+]

@@ -1,0 +1,146 @@
+"""Dependency-free ASCII line charts for figure series.
+
+The offline environment has no plotting stack, so the harness renders its
+figure panels as terminal charts: one braille-free, monospace-safe line
+chart per panel, multiple series overlaid with distinct glyphs.  These are
+*reading aids* next to the exact tables -- the tables remain the source of
+truth for numbers.
+
+Example output::
+
+    fig3(a): SFC reliability
+    1.000 |                         I*H
+          |            I*H
+          |   I*H
+    0.661 | *IH
+          +--------------------------------
+            0.0625     0.25       1.0
+      I=ILP  *=Randomized  H=Heuristic
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.figures import FigureSeries
+from repro.util.errors import ValidationError
+
+#: Default glyph per algorithm (falls back to 1st letter, then digits).
+DEFAULT_GLYPHS = {
+    "ILP": "I",
+    "Randomized": "*",
+    "Heuristic": "H",
+    "NoBackup": "0",
+}
+
+
+def render_ascii_chart(
+    series_values: Mapping[str, Sequence[float]],
+    x_labels: Sequence[object],
+    height: int = 10,
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Render named series as an overlaid ASCII line chart.
+
+    Parameters
+    ----------
+    series_values:
+        Name -> y-values; all series must share ``len(x_labels)`` points.
+    x_labels:
+        Sweep values, printed under the axis (first/middle/last only).
+    height, width:
+        Plot area size in character cells.
+    title:
+        Optional title line.
+    """
+    if not series_values:
+        raise ValidationError("no series to plot")
+    num_points = len(x_labels)
+    for name, ys in series_values.items():
+        if len(ys) != num_points:
+            raise ValidationError(
+                f"series {name!r} has {len(ys)} points for {num_points} x labels"
+            )
+    if num_points == 0:
+        raise ValidationError("cannot plot zero points")
+    if height < 2 or width < 2:
+        raise ValidationError(f"plot area too small: {width}x{height}")
+
+    all_values = [y for ys in series_values.values() for y in ys]
+    lo, hi = min(all_values), max(all_values)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0  # flat series: park everything on one row
+
+    def row_of(y: float) -> int:
+        frac = (y - lo) / (hi - lo)
+        return int(round((height - 1) * (1.0 - frac)))
+
+    def col_of(i: int) -> int:
+        if num_points == 1:
+            return 0
+        return int(round(i * (width - 1) / (num_points - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    glyphs: dict[str, str] = {}
+    used = set()
+    for index, name in enumerate(series_values):
+        glyph = DEFAULT_GLYPHS.get(name, name[:1] or str(index))
+        while glyph in used:  # avoid collisions between unknown names
+            glyph = chr(ord("a") + (ord(glyph) - ord("a") + 1) % 26)
+        used.add(glyph)
+        glyphs[name] = glyph
+
+    for name, ys in series_values.items():
+        for i, y in enumerate(ys):
+            r, c = row_of(y), col_of(i)
+            cell = grid[r][c]
+            grid[r][c] = "+" if cell not in (" ", glyphs[name]) else glyphs[name]
+
+    label_hi = f"{hi:.4g}"
+    label_lo = f"{lo:.4g}"
+    margin = max(len(label_hi), len(label_lo))
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = label_hi.rjust(margin)
+        elif r == height - 1:
+            prefix = label_lo.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |" + "".join(row))
+    lines.append(" " * margin + " +" + "-" * width)
+
+    # x labels: first, middle, last
+    xaxis = [" "] * width
+    picks = {0, num_points // 2, num_points - 1}
+    for i in sorted(picks):
+        text = str(x_labels[i])
+        col = min(col_of(i), width - len(text))
+        for j, ch in enumerate(text):
+            xaxis[col + j] = ch
+    lines.append(" " * margin + "  " + "".join(xaxis).rstrip())
+    legend = "  ".join(f"{glyph}={name}" for name, glyph in glyphs.items())
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)
+
+
+def render_reliability_chart(series: FigureSeries, **kwargs: object) -> str:
+    """Panel (a) of a figure as an ASCII chart."""
+    values = {
+        name: series.reliability_series(name) for name in series.algorithms()
+    }
+    title = kwargs.pop("title", f"{series.figure}(a): SFC reliability")
+    return render_ascii_chart(values, series.x_values, title=title, **kwargs)  # type: ignore[arg-type]
+
+
+def render_runtime_chart(series: FigureSeries, **kwargs: object) -> str:
+    """Panel (c) of a figure as an ASCII chart (milliseconds)."""
+    values = {
+        name: [t * 1e3 for t in series.runtime_series(name)]
+        for name in series.algorithms()
+    }
+    title = kwargs.pop("title", f"{series.figure}(c): running time (ms)")
+    return render_ascii_chart(values, series.x_values, title=title, **kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,114 @@
+"""Trial-count convergence analysis.
+
+The paper averages 1,000 trials per data point; this repository's benches
+default to far fewer.  How many trials does a stable mean actually need?
+:func:`convergence_table` answers empirically: it runs one algorithm over
+a growing trial set and reports, at chosen checkpoints, the running mean
+reliability and its standard error -- so a user can pick ``REPRO_TRIALS``
+with a known confidence half-width instead of folklore.
+
+Trials are *reused* across checkpoints (checkpoint ``n`` summarises the
+first ``n`` trials of one stream), so the table is internally consistent
+and costs exactly ``max(checkpoints)`` trials.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.algorithms.base import AugmentationAlgorithm
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.workload import make_trial
+from repro.util.errors import ValidationError
+from repro.util.rng import RandomState, as_rng, spawn_rng
+
+#: Default checkpoint grid (log-ish spacing up to the bench default x10).
+DEFAULT_CHECKPOINTS: tuple[int, ...] = (5, 10, 25, 50, 100)
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """Running statistics after ``trials`` trials."""
+
+    trials: int
+    mean_reliability: float
+    std_error: float
+
+    @property
+    def half_width_95(self) -> float:
+        """~95% confidence half-width (1.96 standard errors)."""
+        return 1.96 * self.std_error
+
+
+def convergence_table(
+    settings: ExperimentSettings,
+    algorithm: AugmentationAlgorithm,
+    checkpoints: Sequence[int] = DEFAULT_CHECKPOINTS,
+    rng: RandomState = None,
+) -> list[ConvergencePoint]:
+    """Run ``max(checkpoints)`` trials and summarise at each checkpoint.
+
+    Parameters
+    ----------
+    settings:
+        Workload configuration (one data point's settings).
+    algorithm:
+        The algorithm whose mean reliability is being stabilised.
+    checkpoints:
+        Strictly increasing positive trial counts.
+    rng:
+        Seed/generator for the trial stream.
+    """
+    checkpoints = list(checkpoints)
+    if not checkpoints:
+        raise ValidationError("need at least one checkpoint")
+    if any(c <= 0 for c in checkpoints) or checkpoints != sorted(set(checkpoints)):
+        raise ValidationError(
+            f"checkpoints must be strictly increasing positive ints, got {checkpoints}"
+        )
+
+    gen = as_rng(rng)
+    total = checkpoints[-1]
+    reliabilities: list[float] = []
+    points: list[ConvergencePoint] = []
+    remaining = iter(checkpoints)
+    next_checkpoint = next(remaining)
+    for child in spawn_rng(gen, total):
+        instance = make_trial(settings, rng=child)
+        result = algorithm.solve(instance.problem, rng=child)
+        reliabilities.append(result.reliability)
+        if len(reliabilities) == next_checkpoint:
+            points.append(_summarise(reliabilities))
+            next_checkpoint = next(remaining, None)  # type: ignore[arg-type]
+            if next_checkpoint is None:
+                break
+    return points
+
+
+def _summarise(values: Sequence[float]) -> ConvergencePoint:
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        std_error = math.sqrt(variance / n)
+    else:
+        std_error = float("inf")
+    return ConvergencePoint(trials=n, mean_reliability=mean, std_error=std_error)
+
+
+def trials_for_half_width(
+    points: Sequence[ConvergencePoint], target_half_width: float
+) -> int | None:
+    """Smallest checkpoint whose 95% half-width is within the target.
+
+    Returns ``None`` when no checkpoint reaches it -- extrapolate with the
+    usual ``1/sqrt(n)`` scaling from the last point in that case.
+    """
+    if target_half_width <= 0:
+        raise ValidationError(f"target half-width must be > 0, got {target_half_width}")
+    for point in points:
+        if point.half_width_95 <= target_half_width:
+            return point.trials
+    return None

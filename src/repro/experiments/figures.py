@@ -1,0 +1,153 @@
+"""The sweeps behind Figures 1, 2, and 3 of the paper.
+
+Each ``run_figureN`` performs the paper's parameter sweep with the default
+algorithm trio (ILP, Randomized, Heuristic), returning a
+:class:`FigureSeries` holding, per sweep value, the per-algorithm aggregate
+statistics -- reliabilities for panel (a), usage ratios for panel (b), and
+running times for panel (c).  The benchmark files under ``benchmarks/``
+call these and print the series as tables.
+
+Sweep definitions (Section 7.2):
+
+* **Figure 1** -- SFC length from 2 to 20 (default grid: even lengths), at
+  25% residual capacity and function reliability in [0.8, 0.9];
+* **Figure 2** -- function reliability drawn from [0.55, 0.65), [0.65,
+  0.75), [0.75, 0.85), [0.85, 0.95];
+* **Figure 3** -- residual capacity fraction 1/16, 1/8, 1/4, 1/2, 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.algorithms.base import AugmentationAlgorithm
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.algorithms.ilp_exact import ILPAlgorithm
+from repro.algorithms.randomized import RandomizedRounding
+from repro.experiments.runner import AggregateStats, run_point
+from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+from repro.util.rng import RandomState, as_rng, spawn_rng
+
+#: The paper's Figure 2 reliability intervals.
+FIG2_RELIABILITY_INTERVALS: tuple[tuple[float, float], ...] = (
+    (0.55, 0.65),
+    (0.65, 0.75),
+    (0.75, 0.85),
+    (0.85, 0.95),
+)
+
+#: The paper's Figure 3 residual-capacity fractions.
+FIG3_RESIDUAL_FRACTIONS: tuple[float, ...] = (1 / 16, 1 / 8, 1 / 4, 1 / 2, 1.0)
+
+#: Figure 1's default SFC-length grid ("from 2 to 20").
+FIG1_SFC_LENGTHS: tuple[int, ...] = (2, 4, 6, 8, 10, 12, 14, 16, 18, 20)
+
+
+def default_algorithms() -> list[AugmentationAlgorithm]:
+    """The trio every figure compares: ILP, Randomized, Heuristic."""
+    return [ILPAlgorithm(), RandomizedRounding(), MatchingHeuristic()]
+
+
+@dataclass
+class FigureSeries:
+    """One figure's full sweep output.
+
+    Attributes
+    ----------
+    figure:
+        Figure label (``"fig1"``...).
+    parameter:
+        Name of the swept parameter.
+    x_values:
+        The sweep grid (labels for interval sweeps).
+    points:
+        Per sweep value: algorithm name -> :class:`AggregateStats`.
+    """
+
+    figure: str
+    parameter: str
+    x_values: list[object] = field(default_factory=list)
+    points: list[dict[str, AggregateStats]] = field(default_factory=list)
+
+    def algorithms(self) -> list[str]:
+        """Algorithm names present in the series, in insertion order."""
+        if not self.points:
+            return []
+        return list(self.points[0].keys())
+
+    def reliability_series(self, algorithm: str) -> list[float]:
+        """Panel (a): mean achieved reliability across the sweep."""
+        return [point[algorithm].reliability for point in self.points]
+
+    def runtime_series(self, algorithm: str) -> list[float]:
+        """Panel (c): mean running time (seconds) across the sweep."""
+        return [point[algorithm].runtime for point in self.points]
+
+    def usage_series(self, algorithm: str) -> list[tuple[float, float, float]]:
+        """Panel (b): mean (avg, min, max) usage ratio across the sweep."""
+        return [point[algorithm].usage for point in self.points]
+
+
+def _sweep(
+    figure: str,
+    parameter: str,
+    configs: Sequence[tuple[object, ExperimentSettings]],
+    algorithms: Sequence[AugmentationAlgorithm] | None,
+    trials: int | None,
+    rng: RandomState,
+    validate: bool,
+) -> FigureSeries:
+    algos = list(algorithms) if algorithms is not None else default_algorithms()
+    gen = as_rng(rng)
+    series = FigureSeries(figure=figure, parameter=parameter)
+    for child, (x, settings) in zip(spawn_rng(gen, len(configs)), configs):
+        series.x_values.append(x)
+        series.points.append(
+            run_point(settings, algos, trials=trials, rng=child, validate=validate)
+        )
+    return series
+
+
+def run_figure1(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    sfc_lengths: Sequence[int] = FIG1_SFC_LENGTHS,
+    algorithms: Sequence[AugmentationAlgorithm] | None = None,
+    trials: int | None = None,
+    rng: RandomState = None,
+    validate: bool = True,
+) -> FigureSeries:
+    """Figure 1: vary the SFC length of a request from 2 to 20."""
+    configs = [(length, settings.vary(sfc_length=length)) for length in sfc_lengths]
+    return _sweep("fig1", "sfc_length", configs, algorithms, trials, rng, validate)
+
+
+def run_figure2(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    intervals: Sequence[tuple[float, float]] = FIG2_RELIABILITY_INTERVALS,
+    algorithms: Sequence[AugmentationAlgorithm] | None = None,
+    trials: int | None = None,
+    rng: RandomState = None,
+    validate: bool = True,
+) -> FigureSeries:
+    """Figure 2: vary the network function reliability from ~0.6 to ~0.9."""
+    configs = [
+        (f"[{lo:.2f},{hi:.2f})", settings.vary(reliability_range=(lo, hi)))
+        for lo, hi in intervals
+    ]
+    return _sweep("fig2", "reliability_interval", configs, algorithms, trials, rng, validate)
+
+
+def run_figure3(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    fractions: Sequence[float] = FIG3_RESIDUAL_FRACTIONS,
+    algorithms: Sequence[AugmentationAlgorithm] | None = None,
+    trials: int | None = None,
+    rng: RandomState = None,
+    validate: bool = True,
+) -> FigureSeries:
+    """Figure 3: vary the residual computing capacity from 1/16 to 1."""
+    configs = [
+        (fraction, settings.vary(residual_fraction=fraction)) for fraction in fractions
+    ]
+    return _sweep("fig3", "residual_fraction", configs, algorithms, trials, rng, validate)

@@ -1,0 +1,65 @@
+"""Plain-text rendering of figure series.
+
+Turns a :class:`FigureSeries` into the same rows the paper's figures plot:
+one table per panel.  The benchmark files print these so that
+``pytest benchmarks/ --benchmark-only`` output can be read side by side
+with the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureSeries
+from repro.util.tables import format_table
+
+
+def render_reliability_panel(series: FigureSeries, title: str | None = None) -> str:
+    """Panel (a): mean achieved SFC reliability per algorithm."""
+    algorithms = series.algorithms()
+    headers = [series.parameter, *algorithms]
+    rows = []
+    for i, x in enumerate(series.x_values):
+        rows.append([x, *(series.points[i][a].reliability for a in algorithms)])
+    return format_table(
+        headers, rows, floatfmt=".4f", title=title or f"{series.figure}(a): SFC reliability"
+    )
+
+
+def render_usage_panel(
+    series: FigureSeries, algorithm: str = "Randomized", title: str | None = None
+) -> str:
+    """Panel (b): capacity usage ratio (avg/min/max) of one algorithm."""
+    headers = [series.parameter, "usage_avg", "usage_min", "usage_max", "peak"]
+    rows = []
+    for i, x in enumerate(series.x_values):
+        stats = series.points[i][algorithm]
+        mean, lo, hi = stats.usage
+        rows.append([x, mean, lo, hi, stats.peak_usage])
+    return format_table(
+        headers,
+        rows,
+        floatfmt=".4f",
+        title=title or f"{series.figure}(b): capacity usage ratio ({algorithm})",
+    )
+
+
+def render_runtime_panel(series: FigureSeries, title: str | None = None) -> str:
+    """Panel (c): mean running time (milliseconds) per algorithm."""
+    algorithms = series.algorithms()
+    headers = [series.parameter, *(f"{a} (ms)" for a in algorithms)]
+    rows = []
+    for i, x in enumerate(series.x_values):
+        rows.append(
+            [x, *(series.points[i][a].runtime * 1e3 for a in algorithms)]
+        )
+    return format_table(
+        headers, rows, floatfmt=".3f", title=title or f"{series.figure}(c): running time"
+    )
+
+
+def render_figure(series: FigureSeries, usage_algorithm: str = "Randomized") -> str:
+    """All three panels of one figure, separated by blank lines."""
+    parts = [render_reliability_panel(series)]
+    if usage_algorithm in series.algorithms():
+        parts.append(render_usage_panel(series, usage_algorithm))
+    parts.append(render_runtime_panel(series))
+    return "\n\n".join(parts)

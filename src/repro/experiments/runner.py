@@ -1,0 +1,164 @@
+"""Trial execution and aggregation.
+
+:func:`run_point` evaluates a set of algorithms on ``trials`` freshly drawn
+instances of one experimental configuration -- one *data point* of a figure
+-- and aggregates per-algorithm means of the reported metrics:
+
+* achieved request reliability (panels (a));
+* capacity usage ratio mean/min/max (panels (b); meaningful for the
+  randomized algorithm, recorded for all);
+* running time (panels (c)).
+
+Every algorithm sees the *same* instance within a trial (the paper's
+comparison is paired), and each trial gets an independent child RNG so the
+sweep is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.algorithms.base import AugmentationAlgorithm
+from repro.core.solution import AugmentationResult
+from repro.core.validation import check_solution
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.workload import make_trial
+from repro.util.errors import ValidationError
+from repro.util.rng import RandomState, as_rng, spawn_rng
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """Results of all algorithms on one shared instance."""
+
+    results: dict[str, AugmentationResult]
+    baseline_reliability: float
+    expectation: float
+    num_items: int
+
+
+@dataclass
+class AggregateStats:
+    """Streaming mean aggregator for one algorithm at one data point."""
+
+    algorithm: str
+    trials: int = 0
+    reliability_sum: float = 0.0
+    runtime_sum: float = 0.0
+    usage_mean_sum: float = 0.0
+    usage_min_sum: float = 0.0
+    usage_max_sum: float = 0.0
+    backups_sum: int = 0
+    expectation_met_count: int = 0
+    violation_trials: int = 0
+    _max_usage_seen: float = field(default=0.0, repr=False)
+
+    def add(self, result: AugmentationResult) -> None:
+        """Fold one trial result into the aggregate."""
+        self.trials += 1
+        self.reliability_sum += result.reliability
+        self.runtime_sum += result.runtime_seconds
+        self.usage_mean_sum += result.usage_mean
+        self.usage_min_sum += result.usage_min
+        self.usage_max_sum += result.usage_max
+        self.backups_sum += result.num_backups
+        self.expectation_met_count += int(result.expectation_met)
+        self.violation_trials += int(result.has_violations)
+        self._max_usage_seen = max(self._max_usage_seen, result.usage_max)
+
+    def _mean(self, total: float) -> float:
+        if self.trials == 0:
+            raise ValidationError("no trials aggregated")
+        return total / self.trials
+
+    @property
+    def reliability(self) -> float:
+        """Mean achieved reliability across trials."""
+        return self._mean(self.reliability_sum)
+
+    @property
+    def runtime(self) -> float:
+        """Mean running time (seconds)."""
+        return self._mean(self.runtime_sum)
+
+    @property
+    def usage(self) -> tuple[float, float, float]:
+        """Mean of the per-trial (mean, min, max) usage ratios."""
+        return (
+            self._mean(self.usage_mean_sum),
+            self._mean(self.usage_min_sum),
+            self._mean(self.usage_max_sum),
+        )
+
+    @property
+    def peak_usage(self) -> float:
+        """Worst usage ratio observed in any trial (Thm 5.2's empirical check)."""
+        return self._max_usage_seen
+
+    @property
+    def expectation_met_rate(self) -> float:
+        """Fraction of trials whose expectation was reached."""
+        return self._mean(float(self.expectation_met_count))
+
+    @property
+    def mean_backups(self) -> float:
+        """Mean number of secondaries placed."""
+        return self._mean(float(self.backups_sum))
+
+
+def run_trial(
+    settings: ExperimentSettings,
+    algorithms: Sequence[AugmentationAlgorithm],
+    rng: RandomState = None,
+    validate: bool = True,
+) -> TrialOutcome:
+    """One shared instance, every algorithm, optional invariant validation.
+
+    Validation re-checks each solution's feasibility (capacity violations
+    are allowed -- and recorded -- only for the randomized algorithm).
+    """
+    gen = as_rng(rng)
+    instance = make_trial(settings, rng=gen)
+    problem = instance.problem
+    results: dict[str, AugmentationResult] = {}
+    for algorithm in algorithms:
+        result = algorithm.solve(problem, rng=gen)
+        if validate:
+            allow = algorithm.name.startswith("Randomized")
+            report = check_solution(
+                problem,
+                result.solution,
+                allow_capacity_violation=allow,
+                claimed_reliability=result.reliability,
+            )
+            report.raise_if_failed()
+        results[algorithm.name] = result
+    return TrialOutcome(
+        results=results,
+        baseline_reliability=problem.baseline_reliability,
+        expectation=problem.request.expectation,
+        num_items=problem.num_items,
+    )
+
+
+def run_point(
+    settings: ExperimentSettings,
+    algorithms: Sequence[AugmentationAlgorithm],
+    trials: int | None = None,
+    rng: RandomState = None,
+    validate: bool = True,
+) -> dict[str, AggregateStats]:
+    """Aggregate ``trials`` runs into per-algorithm statistics.
+
+    ``trials`` defaults to ``settings.effective_trials`` (which honours the
+    ``REPRO_TRIALS`` environment variable).
+    """
+    gen = as_rng(rng)
+    count = trials if trials is not None else settings.effective_trials
+    stats = {a.name: AggregateStats(a.name) for a in algorithms}
+    for child in spawn_rng(gen, count):
+        outcome = run_trial(settings, algorithms, rng=child, validate=validate)
+        for name, result in outcome.results.items():
+            stats[name].add(result)
+    return stats

@@ -1,0 +1,117 @@
+"""Persisting experiment series to CSV and JSON.
+
+The benchmark suite prints figure panels as text tables; downstream users
+plotting with their own tools need machine-readable output.  This module
+flattens a :class:`FigureSeries` into
+
+* **CSV** -- one row per (sweep value, algorithm) with every aggregate
+  metric as a column (long/tidy format, plot-tool friendly);
+* **JSON** -- a nested document preserving the sweep structure, suitable
+  for archiving alongside the run's settings and seed.
+
+Both writers are loss-aware: everything an :class:`AggregateStats` exposes
+is included, so a saved run can answer later questions (violation trials,
+peak usage) without re-running.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.experiments.figures import FigureSeries
+from repro.experiments.runner import AggregateStats
+
+#: Columns of the tidy CSV, in order.
+CSV_COLUMNS = (
+    "figure",
+    "parameter",
+    "x",
+    "algorithm",
+    "trials",
+    "reliability",
+    "runtime_seconds",
+    "usage_mean",
+    "usage_min",
+    "usage_max",
+    "peak_usage",
+    "expectation_met_rate",
+    "mean_backups",
+    "violation_trials",
+)
+
+
+def _stats_record(
+    series: FigureSeries, x: object, name: str, stats: AggregateStats
+) -> dict[str, object]:
+    mean, lo, hi = stats.usage
+    return {
+        "figure": series.figure,
+        "parameter": series.parameter,
+        "x": x,
+        "algorithm": name,
+        "trials": stats.trials,
+        "reliability": stats.reliability,
+        "runtime_seconds": stats.runtime,
+        "usage_mean": mean,
+        "usage_min": lo,
+        "usage_max": hi,
+        "peak_usage": stats.peak_usage,
+        "expectation_met_rate": stats.expectation_met_rate,
+        "mean_backups": stats.mean_backups,
+        "violation_trials": stats.violation_trials,
+    }
+
+
+def series_records(series: FigureSeries) -> list[dict[str, object]]:
+    """Flatten a series into tidy records (one per sweep-value x algorithm)."""
+    records = []
+    for x, point in zip(series.x_values, series.points):
+        for name, stats in point.items():
+            records.append(_stats_record(series, x, name, stats))
+    return records
+
+
+def write_series_csv(series: FigureSeries, path: str | Path) -> Path:
+    """Write the series as a tidy CSV; returns the path written."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_COLUMNS)
+        writer.writeheader()
+        for record in series_records(series):
+            writer.writerow(record)
+    return path
+
+
+def write_series_json(
+    series: FigureSeries,
+    path: str | Path,
+    metadata: Mapping[str, object] | None = None,
+) -> Path:
+    """Write the series (plus optional run metadata) as JSON."""
+    path = Path(path)
+    document = {
+        "figure": series.figure,
+        "parameter": series.parameter,
+        "metadata": dict(metadata or {}),
+        "points": [
+            {
+                "x": x,
+                "algorithms": {
+                    name: _stats_record(series, x, name, stats)
+                    for name, stats in point.items()
+                },
+            }
+            for x, point in zip(series.x_values, series.points)
+        ],
+    }
+    path.write_text(json.dumps(document, indent=2, default=str) + "\n")
+    return path
+
+
+def read_series_csv(path: str | Path) -> list[dict[str, str]]:
+    """Read a tidy CSV back as string records (round-trip helper)."""
+    with Path(path).open(newline="") as handle:
+        return list(csv.DictReader(handle))

@@ -1,0 +1,102 @@
+"""Default experiment parameters (Section 7.1 of the paper).
+
+The paper's settings, verbatim:
+
+* MEC network of 100 APs; cloudlets at 10% of APs, randomly co-located;
+* GT-ITM (Waxman) topologies;
+* cloudlet computing capacity uniform in [4000, 8000] MHz;
+* |F| = 30 network function types, demand uniform in [200, 400] MHz;
+* SFC length uniform in {3..10}, functions drawn uniformly from F;
+* primaries deployed randomly onto cloudlets;
+* secondaries restricted to l = 1 hop;
+* default residual capacity fraction 25%;
+* default per-function instance reliability uniform in [0.8, 0.9];
+* 1,000 random trials per data point.
+
+One parameter the paper does not state is the distribution of the
+reliability expectation ``rho_j``; we default to uniform in
+[0.95, 0.995], which reproduces the reported reliability plateaus (e.g.
+~98% at abundant capacity in Fig. 3(a)) -- see EXPERIMENTS.md.
+
+The trial count is overridable through the ``REPRO_TRIALS`` environment
+variable so the benchmark suite can run quickly while the full 1,000-trial
+protocol remains one env var away.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.util.errors import ValidationError
+
+#: Environment variable overriding the per-point trial count.
+TRIALS_ENV_VAR = "REPRO_TRIALS"
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """All knobs of one experimental configuration.
+
+    Every figure sweep starts from :data:`DEFAULT_SETTINGS` and varies one
+    field via :meth:`vary`.
+    """
+
+    num_aps: int = 100
+    cloudlet_fraction: float = 0.10
+    capacity_range: tuple[float, float] = (4000.0, 8000.0)
+    num_vnf_types: int = 30
+    demand_range: tuple[float, float] = (200.0, 400.0)
+    reliability_range: tuple[float, float] = (0.8, 0.9)
+    sfc_length_range: tuple[int, int] = (3, 10)
+    sfc_length: int | None = None  # fixed length overrides the range (Fig. 1)
+    expectation_range: tuple[float, float] = (0.95, 0.995)
+    radius: int = 1
+    residual_fraction: float = 0.25
+    trials: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.num_aps <= 0:
+            raise ValidationError(f"num_aps must be positive, got {self.num_aps}")
+        if not (0.0 < self.cloudlet_fraction <= 1.0):
+            raise ValidationError(
+                f"cloudlet_fraction must be in (0, 1], got {self.cloudlet_fraction}"
+            )
+        lo, hi = self.sfc_length_range
+        if not (1 <= lo <= hi):
+            raise ValidationError(f"invalid sfc_length_range {self.sfc_length_range}")
+        if self.sfc_length is not None and self.sfc_length < 1:
+            raise ValidationError(f"sfc_length must be >= 1, got {self.sfc_length}")
+        lo_e, hi_e = self.expectation_range
+        if not (0.0 < lo_e <= hi_e <= 1.0):
+            raise ValidationError(f"invalid expectation_range {self.expectation_range}")
+        if self.radius < 0:
+            raise ValidationError(f"radius must be >= 0, got {self.radius}")
+        if not (0.0 < self.residual_fraction <= 1.0):
+            raise ValidationError(
+                f"residual_fraction must be in (0, 1], got {self.residual_fraction}"
+            )
+        if self.trials <= 0:
+            raise ValidationError(f"trials must be positive, got {self.trials}")
+
+    def vary(self, **changes: object) -> "ExperimentSettings":
+        """A copy with some fields replaced (sweep helper)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    @property
+    def effective_trials(self) -> int:
+        """Trial count after applying the ``REPRO_TRIALS`` override."""
+        raw = os.environ.get(TRIALS_ENV_VAR)
+        if raw is None:
+            return self.trials
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValidationError(f"{TRIALS_ENV_VAR}={raw!r} is not an integer") from None
+        if value <= 0:
+            raise ValidationError(f"{TRIALS_ENV_VAR} must be positive, got {value}")
+        return value
+
+
+#: The paper's Section 7.1 defaults.
+DEFAULT_SETTINGS = ExperimentSettings()

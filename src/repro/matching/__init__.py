@@ -1,0 +1,24 @@
+"""Bipartite matching substrate for the heuristic (Algorithm 2).
+
+Algorithm 2 repeatedly solves *minimum-cost maximum matching* on bipartite
+graphs between cloudlets and remaining BMCGAP items.  This subpackage
+provides:
+
+* :func:`~repro.matching.hungarian.solve_assignment` -- a from-scratch
+  Hungarian algorithm (Jonker-Volgenant shortest-augmenting-path variant
+  with dual potentials, O(n^3)), the solver the paper names;
+* :func:`~repro.matching.mincost.min_cost_max_matching` -- the wrapper that
+  reduces min-cost *maximum* matching with forbidden edges to a padded
+  square assignment problem, solvable by either the from-scratch solver or
+  :func:`scipy.optimize.linear_sum_assignment` (used as the default backend
+  for speed; the two are cross-validated in the test suite).
+"""
+
+from repro.matching.hungarian import solve_assignment
+from repro.matching.mincost import MatchEdge, min_cost_max_matching
+
+__all__ = [
+    "MatchEdge",
+    "min_cost_max_matching",
+    "solve_assignment",
+]

@@ -1,0 +1,118 @@
+"""Minimum-cost maximum matching with forbidden edges.
+
+Algorithm 2 needs, per round, a *maximum-cardinality* matching between
+cloudlets and remaining items that, among all maximum matchings, minimises
+total edge cost -- on a bipartite graph where most (cloudlet, item) pairs
+are simply not edges.
+
+Reduction.  Pad the ``n x m`` bipartite cost structure to an
+``(n + m) x (n + m)`` square assignment problem:
+
+* real block ``[0:n, 0:m]``: actual edge costs; non-edges get ``B``;
+* right block ``[0:n, m:]``: ``B`` (a left node matched here is unmatched);
+* bottom block ``[n:, 0:m]``: ``B`` (a right node matched here is unmatched);
+* corner block ``[n:, m:]``: ``0`` (pairing the dummies is free).
+
+With ``B`` strictly larger than the sum of all real edge costs (plus the
+spread the duals may introduce), a matching of cardinality ``k`` has padded
+objective ``sum(chosen costs) + (n + m - 2k) * B``; minimising it therefore
+maximises ``k`` first and minimises cost second -- exactly min-cost maximum
+matching.  Assignments that land in a ``B`` cell are decoded as "unmatched".
+
+Backends: ``"scipy"`` (default; :func:`scipy.optimize.linear_sum_assignment`)
+and ``"own"`` (:func:`repro.matching.hungarian.solve_assignment`).  Tests
+assert both return identical cardinality and cost on random graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.matching.hungarian import solve_assignment
+from repro.util.errors import ValidationError
+
+BACKENDS = ("scipy", "own")
+
+
+@dataclass(frozen=True)
+class MatchEdge:
+    """One matched pair: left node ``row``, right node ``col``, its ``cost``."""
+
+    row: int
+    col: int
+    cost: float
+
+
+def _padded_matrix(
+    n_rows: int, n_cols: int, edges: Mapping[tuple[int, int], float]
+) -> tuple[np.ndarray, float]:
+    """Build the padded square matrix and return it with the ``B`` used."""
+    finite_sum = sum(abs(c) for c in edges.values())
+    big = finite_sum + 1.0
+    size = n_rows + n_cols
+    matrix = np.full((size, size), big)
+    matrix[n_rows:, n_cols:] = 0.0
+    for (r, c), cost in edges.items():
+        if not (0 <= r < n_rows and 0 <= c < n_cols):
+            raise ValidationError(f"edge ({r}, {c}) outside a {n_rows}x{n_cols} graph")
+        if not math.isfinite(cost):
+            raise ValidationError(f"edge ({r}, {c}) has non-finite cost {cost}")
+        matrix[r, c] = cost
+    return matrix, big
+
+
+def min_cost_max_matching(
+    n_rows: int,
+    n_cols: int,
+    edges: Mapping[tuple[int, int], float],
+    backend: str = "scipy",
+) -> list[MatchEdge]:
+    """Minimum-cost maximum matching of a bipartite graph.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Sizes of the two node sets (left 0..n_rows-1, right 0..n_cols-1).
+    edges:
+        ``(row, col) -> cost`` for existing edges; absent pairs are
+        forbidden.  Costs may be negative.
+    backend:
+        ``"scipy"`` (default) or ``"own"`` (the from-scratch Hungarian).
+
+    Returns
+    -------
+    list[MatchEdge]
+        The matched pairs, sorted by row; maximum cardinality, and of
+        minimum total cost among maximum matchings.
+    """
+    if n_rows < 0 or n_cols < 0:
+        raise ValidationError(f"negative dimensions: {n_rows}x{n_cols}")
+    if backend not in BACKENDS:
+        raise ValidationError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if n_rows == 0 or n_cols == 0 or not edges:
+        return []
+
+    matrix, big = _padded_matrix(n_rows, n_cols, edges)
+    if backend == "scipy":
+        rows, cols = linear_sum_assignment(matrix)
+        pairs = zip(rows.tolist(), cols.tolist())
+    else:
+        assignment, _ = solve_assignment(matrix)
+        pairs = ((i, int(j)) for i, j in enumerate(assignment))
+
+    matched: list[MatchEdge] = []
+    for r, c in pairs:
+        if r < n_rows and c < n_cols and (r, c) in edges:
+            matched.append(MatchEdge(r, c, edges[(r, c)]))
+    matched.sort(key=lambda e: e.row)
+    return matched
+
+
+def matching_cardinality_and_cost(matching: list[MatchEdge]) -> tuple[int, float]:
+    """``(cardinality, total cost)`` of a matching (testing helper)."""
+    return len(matching), sum(e.cost for e in matching)

@@ -1,0 +1,37 @@
+"""MEC network substrate: graph model, capacities, neighborhoods, VNF/SFC model.
+
+This subpackage implements the system model of Section 3 of the paper:
+
+* :class:`~repro.netmodel.graph.MECNetwork` -- the undirected AP graph
+  ``G = (V, E)`` with a subset of nodes co-located with cloudlets of given
+  computing capacity;
+* :mod:`~repro.netmodel.neighborhoods` -- ``l``-hop neighborhood sets
+  ``N_l(v)`` / ``N_l^+(v)`` computed by breadth-first search and cached;
+* :class:`~repro.netmodel.capacity.CapacityLedger` -- residual-capacity
+  accounting with an allocation journal, rollback, and optional violation
+  tracking (needed to *measure* the randomized algorithm's violations);
+* :mod:`~repro.netmodel.vnf` -- network function types ``f_i`` with demand
+  ``c(f_i)`` and reliability ``r_i``, service function chains, and requests
+  with reliability expectations ``rho_j``.
+"""
+
+from repro.netmodel.capacity import Allocation, CapacityLedger
+from repro.netmodel.graph import MECNetwork
+from repro.netmodel.neighborhoods import NeighborhoodIndex
+from repro.netmodel.vnf import (
+    Request,
+    ServiceFunctionChain,
+    VNFCatalog,
+    VNFType,
+)
+
+__all__ = [
+    "Allocation",
+    "CapacityLedger",
+    "MECNetwork",
+    "NeighborhoodIndex",
+    "Request",
+    "ServiceFunctionChain",
+    "VNFCatalog",
+    "VNFType",
+]

@@ -1,0 +1,209 @@
+"""Residual-capacity accounting with journaling, rollback, and violation
+tracking.
+
+All three algorithms of the paper consume cloudlet computing capacity when
+they place VNF instances; the heuristic must *never* exceed residual capacity
+(Theorem 6.2) while the randomized algorithm is allowed moderate violations
+that Theorem 5.2 bounds by a factor of two with high probability -- and that
+Figures 1(b)/2(b)/3(b) *measure*.  :class:`CapacityLedger` supports both
+regimes:
+
+* strict mode (default): an over-allocation raises :class:`CapacityError`;
+* tracking mode (``allow_violation=True`` on :meth:`allocate`): the
+  allocation is recorded anyway and usage ratios above 1.0 become visible in
+  :meth:`usage_ratio` / :meth:`usage_stats`.
+
+Every allocation is journaled so a caller can roll back to a checkpoint --
+used by algorithms that tentatively commit a matching round and retract it
+when the budget check fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.util.errors import CapacityError, ValidationError
+
+#: Tolerance for floating-point capacity comparisons.  Demands and capacities
+#: are MHz-scale floats; 1e-9 absolute slack is far below one unit.
+EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One journaled capacity allocation.
+
+    Attributes
+    ----------
+    node:
+        Cloudlet node id the resource was taken from.
+    amount:
+        Computing resource consumed (MHz), strictly positive.
+    tag:
+        Free-form label identifying the consumer (e.g. ``"f3#2"`` for the
+        second secondary of chain position 3); used in diagnostics only.
+    """
+
+    node: int
+    amount: float
+    tag: str = ""
+
+
+class CapacityLedger:
+    """Tracks residual computing capacity of every cloudlet.
+
+    Parameters
+    ----------
+    capacities:
+        Initial residual capacity per cloudlet node, ``{node: MHz}``.
+        This is typically either :attr:`MECNetwork.capacities` restricted to
+        cloudlets or :meth:`MECNetwork.scaled_capacities` output.
+    """
+
+    def __init__(self, capacities: Mapping[int, float]):
+        for v, c in capacities.items():
+            if c < 0:
+                raise ValidationError(f"initial capacity of node {v!r} must be >= 0, got {c}")
+        self._initial: dict[int, float] = {v: float(c) for v, c in capacities.items()}
+        self._used: dict[int, float] = {v: 0.0 for v in capacities}
+        self._journal: list[Allocation] = []
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def nodes(self) -> list[int]:
+        """All tracked cloudlet node ids."""
+        return list(self._initial)
+
+    def initial(self, v: int) -> float:
+        """Initial residual capacity of node ``v``."""
+        return self._initial[v]
+
+    def used(self, v: int) -> float:
+        """Capacity consumed at node ``v`` so far."""
+        return self._used[v]
+
+    def residual(self, v: int) -> float:
+        """Remaining capacity ``C'_v`` at node ``v`` (may be negative in
+        tracking mode after a violation)."""
+        return self._initial[v] - self._used[v]
+
+    def residuals(self) -> dict[int, float]:
+        """Copy of the node -> residual map."""
+        return {v: self.residual(v) for v in self._initial}
+
+    def fits(self, v: int, amount: float) -> bool:
+        """Whether ``amount`` can be allocated at ``v`` without violation."""
+        return self.residual(v) + EPS >= amount
+
+    def max_units(self, v: int, unit: float) -> int:
+        """``floor(C'_v / unit)`` -- how many instances of demand ``unit`` fit.
+
+        This is the ``k_{i,l}`` quantity of Section 4.2.  A tiny epsilon is
+        added before flooring so that e.g. residual 1000.0 and unit 250.0
+        robustly yield 4 despite float noise.
+        """
+        if unit <= 0:
+            raise ValidationError(f"unit demand must be > 0, got {unit}")
+        residual = self.residual(v)
+        if residual <= 0:
+            return 0
+        return int((residual + EPS) / unit)
+
+    # -- mutation -------------------------------------------------------------
+    def allocate(
+        self, v: int, amount: float, tag: str = "", allow_violation: bool = False
+    ) -> Allocation:
+        """Consume ``amount`` capacity at node ``v`` and journal it.
+
+        Raises
+        ------
+        CapacityError
+            If the allocation does not fit and ``allow_violation`` is False.
+        """
+        if v not in self._initial:
+            raise KeyError(f"unknown cloudlet {v!r}")
+        if amount <= 0:
+            raise ValidationError(f"allocation amount must be > 0, got {amount}")
+        if not allow_violation and not self.fits(v, amount):
+            raise CapacityError(
+                f"allocating {amount:.3f} at node {v} exceeds residual "
+                f"{self.residual(v):.3f}"
+            )
+        self._used[v] += amount
+        alloc = Allocation(v, amount, tag)
+        self._journal.append(alloc)
+        return alloc
+
+    def release(self, allocation: Allocation) -> None:
+        """Return a journaled allocation's capacity (out-of-order release OK)."""
+        try:
+            self._journal.remove(allocation)
+        except ValueError:
+            raise ValidationError(f"allocation {allocation!r} is not in the journal") from None
+        self._used[allocation.node] -= allocation.amount
+
+    def checkpoint(self) -> int:
+        """Opaque marker for the current journal position."""
+        return len(self._journal)
+
+    def rollback(self, checkpoint: int) -> None:
+        """Undo every allocation made after ``checkpoint``."""
+        if checkpoint < 0 or checkpoint > len(self._journal):
+            raise ValidationError(f"invalid checkpoint {checkpoint}")
+        while len(self._journal) > checkpoint:
+            alloc = self._journal.pop()
+            self._used[alloc.node] -= alloc.amount
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def journal(self) -> list[Allocation]:
+        """Copy of the allocation journal, in allocation order."""
+        return list(self._journal)
+
+    def usage_ratio(self, v: int) -> float:
+        """``used / initial`` at node ``v``; > 1.0 indicates a violation.
+
+        Nodes that started with zero residual capacity report 0.0 when
+        untouched and ``inf`` if anything was (violatingly) placed there.
+        """
+        initial = self._initial[v]
+        used = self._used[v]
+        if initial <= 0:
+            return float("inf") if used > EPS else 0.0
+        return used / initial
+
+    def usage_stats(self, nodes: Iterable[int] | None = None) -> tuple[float, float, float]:
+        """``(mean, min, max)`` usage ratio over ``nodes``.
+
+        This is exactly what Figures 1(b)/2(b)/3(b) plot for the randomized
+        algorithm.  ``nodes`` defaults to every tracked cloudlet with
+        positive initial capacity.
+        """
+        pool = [v for v in (nodes if nodes is not None else self._initial) if self._initial[v] > 0]
+        if not pool:
+            return (0.0, 0.0, 0.0)
+        ratios = [self.usage_ratio(v) for v in pool]
+        return (sum(ratios) / len(ratios), min(ratios), max(ratios))
+
+    def violations(self) -> dict[int, float]:
+        """Nodes whose usage exceeds initial capacity, with the excess amount."""
+        out: dict[int, float] = {}
+        for v in self._initial:
+            excess = self._used[v] - self._initial[v]
+            if excess > EPS:
+                out[v] = excess
+        return out
+
+    def copy(self) -> "CapacityLedger":
+        """Deep copy (journal included) -- lets algorithms run on clones of a
+        shared initial state."""
+        clone = CapacityLedger(self._initial)
+        clone._used = dict(self._used)
+        clone._journal = list(self._journal)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        total_init = sum(self._initial.values())
+        total_used = sum(self._used.values())
+        return f"CapacityLedger(nodes={len(self._initial)}, used={total_used:.0f}/{total_init:.0f})"

@@ -1,0 +1,121 @@
+"""Graphviz DOT export of networks and placements.
+
+The offline environment has no plotting stack, but Graphviz DOT is plain
+text: users can render the exported file wherever ``dot`` is available.
+Two exports:
+
+* :func:`network_to_dot` -- the AP graph with cloudlets highlighted and
+  capacity labels;
+* :func:`placement_to_dot` -- a placed chain on top of the network:
+  primaries and backups colour-coded per chain position, with the
+  ``l``-hop placement edges drawn from each primary to its backups.
+
+The DOT text is deterministic (sorted nodes/edges) so exports are
+diff-friendly and snapshot-testable.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import AugmentationProblem
+from repro.core.solution import AugmentationSolution
+from repro.netmodel.graph import MECNetwork
+
+#: Fill colours cycled over chain positions in placement exports.
+POSITION_COLORS = (
+    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3",
+    "#fdb462", "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd",
+)
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', r"\"")
+
+
+def network_to_dot(network: MECNetwork, name: str = "mec") -> str:
+    """Render the AP graph as an undirected Graphviz document.
+
+    Cloudlets are boxes labelled with their capacity; plain APs are small
+    circles.
+    """
+    lines = [f'graph "{_escape(name)}" {{']
+    lines.append("  node [fontsize=10];")
+    for v in sorted(network.graph.nodes):
+        if network.is_cloudlet(v):
+            label = f"{v}\\n{network.capacity(v):.0f} MHz"
+            lines.append(
+                f'  {v} [shape=box, style=filled, fillcolor="#a6cee3", '
+                f'label="{label}"];'
+            )
+        else:
+            lines.append(f'  {v} [shape=circle, width=0.2, label="{v}"];')
+    for u, v in sorted(tuple(sorted(e)) for e in network.graph.edges):
+        lines.append(f"  {u} -- {v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def placement_to_dot(
+    problem: AugmentationProblem,
+    solution: AugmentationSolution,
+    name: str = "placement",
+) -> str:
+    """Render a placed chain over the network.
+
+    Per chain position ``i`` (colour-coded): the primary's node gets a
+    double border, each backup placement adds a dashed edge from the
+    primary's cloudlet to the hosting cloudlet, labelled ``f_i x count``.
+    """
+    network = problem.network
+    chain = problem.request.chain
+
+    primaries = {}
+    for position, v in enumerate(problem.primary_placement):
+        primaries.setdefault(v, []).append(position)
+    backup_edges: dict[tuple[int, int, int], int] = {}  # (pos, from, to) -> count
+    for p in solution.placements:
+        key = (p.position, problem.primary_placement[p.position], p.bin)
+        backup_edges[key] = backup_edges.get(key, 0) + 1
+
+    lines = [f'graph "{_escape(name)}" {{']
+    lines.append("  node [fontsize=10];")
+    for v in sorted(network.graph.nodes):
+        attrs = []
+        if network.is_cloudlet(v):
+            attrs.append("shape=box")
+            attrs.append("style=filled")
+            if v in primaries:
+                roles = ",".join(
+                    f"{chain[i].name}" for i in sorted(primaries[v])
+                )
+                color = POSITION_COLORS[min(primaries[v]) % len(POSITION_COLORS)]
+                attrs.append(f'fillcolor="{color}"')
+                attrs.append("peripheries=2")
+                attrs.append(f'label="{v}\\nprimary: {_escape(roles)}"')
+            else:
+                attrs.append('fillcolor="#f0f0f0"')
+                attrs.append(f'label="{v}"')
+        else:
+            attrs.append("shape=circle")
+            attrs.append("width=0.2")
+            attrs.append(f'label="{v}"')
+        lines.append(f"  {v} [{', '.join(attrs)}];")
+
+    for u, v in sorted(tuple(sorted(e)) for e in network.graph.edges):
+        lines.append(f'  {u} -- {v} [color="#cccccc"];')
+
+    for (position, src, dst), count in sorted(backup_edges.items()):
+        color = POSITION_COLORS[position % len(POSITION_COLORS)]
+        label = f"{chain[position].name} x{count}"
+        if src == dst:
+            # same-cloudlet backups: annotate the node with a self-loop
+            lines.append(
+                f'  {src} -- {dst} [label="{_escape(label)}", color="{color}", '
+                f"style=dashed];"
+            )
+        else:
+            lines.append(
+                f'  {src} -- {dst} [label="{_escape(label)}", color="{color}", '
+                f"style=dashed, penwidth=2];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

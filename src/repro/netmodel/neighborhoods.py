@@ -1,0 +1,129 @@
+"""``l``-hop neighborhood sets ``N_l(v)`` and ``N_l^+(v)``.
+
+Section 3 defines ``N_l(v)`` as the set of nodes within ``l`` hops of ``v``
+(excluding ``v`` itself) and ``N_l^+(v) = N_l(v) ∪ {v}``.  The placement
+constraint of the augmentation problem says every secondary instance of a
+primary placed at cloudlet ``v`` must live on a *cloudlet* in ``N_l^+(v)``.
+
+:class:`NeighborhoodIndex` precomputes, for one radius ``l``, the neighbor
+sets of every node by truncated breadth-first search, and additionally the
+cloudlet-restricted sets the algorithms actually consume.  Radius ``None`` is
+not supported here -- the "unrestricted placement" baseline simply uses
+``radius = |V| - 1``, which reaches the whole (connected) graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+
+def bfs_within(graph: nx.Graph, source: int, radius: int) -> dict[int, int]:
+    """Hop distances from ``source`` to every node within ``radius`` hops.
+
+    A plain deque-based truncated BFS; returns ``{node: distance}`` including
+    ``source`` itself at distance 0.
+    """
+    dist = {source: 0}
+    if radius == 0:
+        return dist
+    queue: deque[int] = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if du == radius:
+            continue
+        for w in graph.neighbors(u):
+            if w not in dist:
+                dist[w] = du + 1
+                queue.append(w)
+    return dist
+
+
+class NeighborhoodIndex:
+    """Precomputed ``l``-hop neighborhoods of every node of a graph.
+
+    Parameters
+    ----------
+    graph:
+        The AP graph.
+    radius:
+        The locality radius ``l >= 0``.
+    cloudlets:
+        Optional iterable of cloudlet node ids; when given, the index also
+        materialises the cloudlet-restricted neighbor lists used for
+        secondary placement.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        radius: int,
+        cloudlets: Iterable[int] | None = None,
+    ):
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        self._radius = radius
+        cloudlet_set = set(cloudlets) if cloudlets is not None else None
+
+        self._closed: dict[int, frozenset[int]] = {}
+        self._closed_cloudlets: dict[int, tuple[int, ...]] = {}
+        for v in graph.nodes:
+            reach = bfs_within(graph, v, radius)
+            closed = frozenset(reach)
+            self._closed[v] = closed
+            if cloudlet_set is not None:
+                self._closed_cloudlets[v] = tuple(
+                    sorted(u for u in closed if u in cloudlet_set)
+                )
+
+    @property
+    def radius(self) -> int:
+        """The radius ``l`` this index was built for."""
+        return self._radius
+
+    def closed(self, v: int) -> frozenset[int]:
+        """``N_l^+(v)`` -- nodes within ``l`` hops of ``v``, including ``v``."""
+        try:
+            return self._closed[v]
+        except KeyError:
+            raise KeyError(f"unknown node {v!r}") from None
+
+    def open(self, v: int) -> frozenset[int]:
+        """``N_l(v)`` -- nodes within ``l`` hops of ``v``, excluding ``v``."""
+        return self.closed(v) - {v}
+
+    def closed_cloudlets(self, v: int) -> tuple[int, ...]:
+        """Cloudlets in ``N_l^+(v)`` -- the candidate bins for secondaries of a
+        primary placed at ``v``.  Requires the index to have been built with
+        a ``cloudlets`` argument."""
+        try:
+            return self._closed_cloudlets[v]
+        except KeyError:
+            raise KeyError(
+                f"no cloudlet-restricted neighborhood for node {v!r}; "
+                "was the index built with cloudlets?"
+            ) from None
+
+    def contains(self, v: int, u: int) -> bool:
+        """Whether ``u ∈ N_l^+(v)``."""
+        return u in self.closed(v)
+
+    def degree(self, v: int) -> int:
+        """``d_v = |N_l(v)|`` -- the neighborhood size used in the paper's
+        complexity bounds (``d_min``/``d_max``)."""
+        return len(self.closed(v)) - 1
+
+    def degree_bounds(self) -> tuple[int, int]:
+        """``(d_min, d_max)`` over all indexed nodes."""
+        degrees = [len(s) - 1 for s in self._closed.values()]
+        return (min(degrees), max(degrees))
+
+
+def neighborhood_sequence(
+    graph: nx.Graph, v: int, radii: Sequence[int]
+) -> list[frozenset[int]]:
+    """``N_l^+(v)`` for several radii at once (testing/analysis helper)."""
+    return [frozenset(bfs_within(graph, v, r)) for r in radii]

@@ -1,0 +1,73 @@
+"""A minimal discrete-event engine: time-ordered event queue.
+
+Deliberately tiny -- a binary heap of ``(time, sequence, payload)`` with
+stable FIFO ordering among simultaneous events.  The chain simulator's
+event payloads are plain tuples; no process framework is needed at this
+scale, and keeping the engine dumb makes its behaviour trivially testable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(order=True, frozen=True)
+class ScheduledEvent:
+    """One queued event: fires at ``time``; FIFO among equal times."""
+
+    time: float
+    sequence: int
+    payload: Any = field(compare=False)
+
+
+class EventQueue:
+    """Time-ordered event queue with monotonicity checking.
+
+    Popping returns events in non-decreasing time order; scheduling an
+    event before the last popped time raises (a causality bug in the
+    caller, better loud than silent).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Time of the most recently popped event (0.0 initially)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, time: float, payload: Any) -> ScheduledEvent:
+        """Queue ``payload`` to fire at ``time`` (>= current time)."""
+        if time < self._now - 1e-12:
+            raise ValidationError(
+                f"cannot schedule at t={time} before current time {self._now}"
+            )
+        event = ScheduledEvent(time, next(self._counter), payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> ScheduledEvent:
+        """Remove and return the earliest event, advancing ``now``."""
+        if not self._heap:
+            raise ValidationError("pop from an empty event queue")
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def drain_until(self, horizon: float) -> Iterator[ScheduledEvent]:
+        """Yield events in order while their time is <= ``horizon``."""
+        while self._heap and self._heap[0].time <= horizon:
+            yield self.pop()

@@ -1,0 +1,82 @@
+"""Instance failure/repair processes calibrated to a target availability.
+
+Every VNF instance alternates between UP and DOWN states with exponential
+sojourn times: time-to-failure ~ Exp(1/MTTF), time-to-repair ~ Exp(1/MTTR).
+The steady-state availability of such an alternating renewal process is
+
+    A = MTTF / (MTTF + MTTR)
+
+so, given the static model's per-instance reliability ``r`` and a chosen
+mean repair time, the calibration
+
+    MTTF = MTTR * r / (1 - r)
+
+makes the *time-average* probability of being up equal ``r`` -- the
+quantity the paper's reliability algebra multiplies.  All instances share
+the MTTR scale (a deployment property: how fast an idle VNF respawns);
+their MTTFs differ with their reliabilities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+def rates_for_reliability(r: float, mttr: float = 1.0) -> tuple[float, float]:
+    """``(MTTF, MTTR)`` whose steady-state availability equals ``r``.
+
+    Raises for ``r`` outside ``(0, 1)`` -- a perfect (``r = 1``) instance
+    never fails and needs no process; the simulator special-cases it.
+    """
+    if not (0.0 < r < 1.0):
+        raise ValidationError(f"calibration needs r in (0, 1), got {r}")
+    if mttr <= 0:
+        raise ValidationError(f"mttr must be positive, got {mttr}")
+    mttf = mttr * r / (1.0 - r)
+    return mttf, mttr
+
+
+@dataclass
+class InstanceProcess:
+    """The UP/DOWN state of one placed VNF instance.
+
+    Attributes
+    ----------
+    position:
+        Chain position this instance serves.
+    cloudlet:
+        Hosting cloudlet (drives failover hop distances).
+    mttf, mttr:
+        Mean sojourn times; ``math.inf`` MTTF means a never-failing
+        instance (``r = 1``).
+    up:
+        Current state.
+    """
+
+    position: int
+    cloudlet: int
+    mttf: float
+    mttr: float
+    up: bool = True
+
+    def sample_uptime(self, rng: np.random.Generator) -> float:
+        """Draw the next time-to-failure (inf for perfect instances)."""
+        if math.isinf(self.mttf):
+            return math.inf
+        return float(rng.exponential(self.mttf))
+
+    def sample_downtime(self, rng: np.random.Generator) -> float:
+        """Draw the next time-to-repair."""
+        return float(rng.exponential(self.mttr))
+
+    @property
+    def availability(self) -> float:
+        """Steady-state availability implied by the rates."""
+        if math.isinf(self.mttf):
+            return 1.0
+        return self.mttf / (self.mttf + self.mttr)

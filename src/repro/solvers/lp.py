@@ -1,0 +1,80 @@
+"""LP relaxation of the augmentation ILP (Algorithm 1, line 4).
+
+Relaxes every ``x_{i,k,u}`` to ``[0, 1]`` and solves with HiGHS through
+:func:`scipy.optimize.linprog`.  The fractional optimum lower-bounds the ILP
+objective (Theorem 5.2's ``OPT~ <= OPT`` in minimisation form) and drives
+the randomized rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.solvers.model import AssignmentModel, VarKey
+from repro.util.errors import InfeasibleError
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Fractional optimum of the relaxation.
+
+    Attributes
+    ----------
+    objective:
+        Optimal ``c @ x`` (negated gain; <= 0).
+    values:
+        Variable values in model column order, clipped to ``[0, 1]``.
+    """
+
+    objective: float
+    values: np.ndarray
+
+    @property
+    def total_gain(self) -> float:
+        """The fractional optimum as a gain (``-objective``)."""
+        return -self.objective
+
+    def fractional_by_item(
+        self, model: AssignmentModel
+    ) -> dict[tuple[int, int], list[tuple[int, float]]]:
+        """Group variable values by item: ``(pos, k) -> [(bin, value), ...]``.
+
+        Only strictly positive values are listed; this is the distribution
+        the randomized rounding samples from.
+        """
+        grouped: dict[tuple[int, int], list[tuple[int, float]]] = {}
+        for col, (pos, k, u) in enumerate(model.var_keys):
+            val = float(self.values[col])
+            if val > 0.0:
+                grouped.setdefault((pos, k), []).append((u, val))
+        return grouped
+
+
+def solve_lp(model: AssignmentModel) -> LPSolution:
+    """Solve the LP relaxation; raises :class:`InfeasibleError` on failure.
+
+    The relaxation of a well-formed augmentation model is always feasible
+    (x = 0 satisfies every row), so a failure indicates a malformed model
+    rather than a hard instance.
+    """
+    result = linprog(
+        c=model.objective,
+        A_ub=model.a_ub,
+        b_ub=model.b_ub,
+        bounds=(0.0, 1.0),
+        method="highs",
+    )
+    if not result.success:
+        raise InfeasibleError(f"LP relaxation failed: {result.message}")
+    values = np.clip(np.asarray(result.x, dtype=float), 0.0, 1.0)
+    return LPSolution(objective=float(result.fun), values=values)
+
+
+def lp_value_of_keys(
+    model: AssignmentModel, solution: LPSolution
+) -> dict[VarKey, float]:
+    """Map each variable key to its fractional value (testing helper)."""
+    return {key: float(solution.values[col]) for col, key in enumerate(model.var_keys)}

@@ -1,0 +1,286 @@
+"""Joint multi-request augmentation model (extension beyond the paper).
+
+The paper augments one admitted request at a time; a batch of requests
+sharing the same residual capacities is the natural system-level problem:
+
+    maximise  W * sum_j met_j + sum_j credit_j          ("slo" objective)
+    or        sum_j credit_j                            ("credit" objective)
+    where     credit_j <= sum_{i,k} g^j_i(k) z^j_{i,k}   (earned gain)
+              credit_j <= needed_j                       (expectation cap)
+              needed_j * met_j <= sum g^j z^j            (met indicator)
+    subject to  per-request balance  sum_k z^j = sum_u y^j   (per position)
+                shared capacity      sum_j sum_i c^j_i y^j_{i,u} <= C'_u
+
+built on the symmetry-free aggregated formulation (see
+:class:`repro.solvers.model.AggregatedModel`).  The per-request *credit*
+variables cap each request's objective contribution at the gain it still
+needs to reach its expectation (``needed_j = -log u_baseline_j + log
+rho_j``); binary *met* indicators mark requests that reach it outright.
+
+The two objectives answer different operator questions:
+
+* ``"slo"`` (default) -- lexicographically maximise the number of
+  expectation-met requests (``W`` exceeds every achievable credit sum),
+  then total credited gain.  Since every sequential admission outcome is
+  feasible for the joint program, the joint met-count upper-bounds every
+  arrival order's -- the clairvoyant yardstick for
+  :mod:`repro.experiments.batch`.
+* ``"credit"`` -- proportional total-gain maximisation; typically yields a
+  higher *mean* reliability while completing fewer SLOs (capacity gets
+  spread rather than concentrated).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.core.problem import AugmentationProblem
+from repro.util.errors import InfeasibleError, ValidationError
+
+
+@dataclass(frozen=True)
+class JointSolution:
+    """Outcome of a joint solve.
+
+    Attributes
+    ----------
+    assignments:
+        Per request (list-aligned): ``(position, k) -> bin``.
+    credited_gain:
+        Per request: the objective credit earned (capped at ``needed_j``).
+    met:
+        Per request: whether the solver's met-indicator is set (``"slo"``
+        objective; all False under ``"credit"``).
+    objective:
+        Total credited gain (excluding the met-indicator weight).
+    """
+
+    assignments: list[dict[tuple[int, int], int]]
+    credited_gain: list[float]
+    met: list[bool]
+    objective: float
+
+
+def _needed_gain(problem: AugmentationProblem) -> float:
+    return max(0.0, -math.log(problem.baseline_reliability) - problem.budget)
+
+
+OBJECTIVES = ("slo", "credit")
+
+
+def solve_joint(
+    problems: Sequence[AugmentationProblem],
+    residuals: Mapping[int, float] | None = None,
+    objective_mode: str = "slo",
+) -> JointSolution:
+    """Solve the joint augmentation of several requests exactly.
+
+    Parameters
+    ----------
+    problems:
+        Per-request problems.  They must all have been built against the
+        *same* residual-capacity snapshot (their own capacity rows are
+        ignored in favour of the shared ones assembled here).
+    residuals:
+        The shared residual capacities; defaults to the first problem's
+        (and every problem must then agree with it).
+    objective_mode:
+        ``"slo"`` (default) or ``"credit"`` -- see the module docstring.
+
+    Raises
+    ------
+    ValidationError
+        On an empty batch, unknown objective, or disagreeing residuals.
+    """
+    if not problems:
+        raise ValidationError("joint solve needs at least one problem")
+    if objective_mode not in OBJECTIVES:
+        raise ValidationError(
+            f"unknown objective {objective_mode!r}; choose from {OBJECTIVES}"
+        )
+    if residuals is None:
+        residuals = dict(problems[0].residuals)
+    for index, problem in enumerate(problems):
+        for v, c in problem.residuals.items():
+            if abs(residuals.get(v, 0.0) - c) > 1e-6:
+                raise ValidationError(
+                    f"problem {index} was built against different residuals "
+                    f"(node {v}: {c} vs shared {residuals.get(v, 0.0)})"
+                )
+
+    # -- variable layout ---------------------------------------------------------
+    # per request j: z^j block, y^j block; then one credit variable per request
+    z_cols: list[list[tuple[int, int]]] = []       # per request: (pos, k)
+    y_cols: list[list[tuple[int, int, float]]] = []  # per request: (pos, u, demand)
+    gains: list[list[float]] = []
+    col = 0
+    z_start: list[int] = []
+    y_start: list[int] = []
+    for problem in problems:
+        grouped: dict[int, list] = {}
+        for item in problem.items:
+            grouped.setdefault(item.position, []).append(item)
+        for group in grouped.values():
+            group.sort(key=lambda it: it.k)
+        z_start.append(col)
+        zs, gs = [], []
+        for pos, group in sorted(grouped.items()):
+            for item in group:
+                zs.append((pos, item.k))
+                gs.append(item.gain)
+        z_cols.append(zs)
+        gains.append(gs)
+        col += len(zs)
+        y_start.append(col)
+        ys = []
+        for pos, group in sorted(grouped.items()):
+            demand = group[0].demand
+            for u in group[0].bins:
+                cap = int((residuals.get(u, 0.0) + 1e-9) / demand)
+                if cap > 0:
+                    ys.append((pos, u, demand))
+        y_cols.append(ys)
+        col += len(ys)
+    credit_start = col
+    num_requests = len(problems)
+    met_start = credit_start + num_requests
+    num_vars = met_start + num_requests
+
+    needed = [_needed_gain(problem) for problem in problems]
+    upper = np.zeros(num_vars)
+    for j, problem in enumerate(problems):
+        upper[z_start[j] : z_start[j] + len(z_cols[j])] = 1.0
+        for offset, (pos, u, demand) in enumerate(y_cols[j]):
+            cap = int((residuals.get(u, 0.0) + 1e-9) / demand)
+            upper[y_start[j] + offset] = float(cap)
+        upper[credit_start + j] = needed[j]
+        # a request needing no gain is trivially met; only meaningful under
+        # the "slo" objective
+        if objective_mode == "slo":
+            upper[met_start + j] = 1.0
+    integrality = np.ones(num_vars)
+    integrality[credit_start:met_start] = 0.0  # credits are continuous
+
+    rows_ub, cols_ub, vals_ub, b_ub = [], [], [], []
+    row = 0
+    # shared capacity rows
+    bins_in_use = sorted(
+        {u for ys in y_cols for (_pos, u, _d) in ys}
+    )
+    cap_row = {u: row + i for i, u in enumerate(bins_in_use)}
+    row += len(bins_in_use)
+    for j in range(num_requests):
+        for offset, (pos, u, demand) in enumerate(y_cols[j]):
+            rows_ub.append(cap_row[u])
+            cols_ub.append(y_start[j] + offset)
+            vals_ub.append(demand)
+    b_ub.extend(residuals.get(u, 0.0) for u in bins_in_use)
+
+    # credit rows: credit_j - sum gains*z_j <= 0
+    for j in range(num_requests):
+        for offset, gain in enumerate(gains[j]):
+            rows_ub.append(row)
+            cols_ub.append(z_start[j] + offset)
+            vals_ub.append(-gain)
+        rows_ub.append(row)
+        cols_ub.append(credit_start + j)
+        vals_ub.append(1.0)
+        b_ub.append(0.0)
+        row += 1
+
+    # met rows ("slo" objective): needed_j * met_j - sum gains*z_j <= 0
+    if objective_mode == "slo":
+        for j in range(num_requests):
+            if needed[j] <= 0:
+                continue  # met_j is free (upper bound 1, no gain required)
+            for offset, gain in enumerate(gains[j]):
+                rows_ub.append(row)
+                cols_ub.append(z_start[j] + offset)
+                vals_ub.append(-gain)
+            rows_ub.append(row)
+            cols_ub.append(met_start + j)
+            # small slack keeps borderline optima from flapping on float
+            # noise in the gain sums
+            vals_ub.append(needed[j] * (1.0 - 1e-9))
+            b_ub.append(0.0)
+            row += 1
+
+    a_ub = sparse.csr_matrix(
+        (vals_ub, (rows_ub, cols_ub)), shape=(row, num_vars), dtype=float
+    )
+
+    # balance rows (equalities): per request, per position
+    rows_eq, cols_eq, vals_eq = [], [], []
+    eq_row = 0
+    for j, problem in enumerate(problems):
+        positions = sorted({pos for pos, _k in z_cols[j]})
+        bal = {pos: eq_row + i for i, pos in enumerate(positions)}
+        eq_row += len(positions)
+        for offset, (pos, _k) in enumerate(z_cols[j]):
+            rows_eq.append(bal[pos])
+            cols_eq.append(z_start[j] + offset)
+            vals_eq.append(1.0)
+        for offset, (pos, _u, _d) in enumerate(y_cols[j]):
+            rows_eq.append(bal[pos])
+            cols_eq.append(y_start[j] + offset)
+            vals_eq.append(-1.0)
+    a_eq = sparse.csr_matrix(
+        (vals_eq, (rows_eq, cols_eq)), shape=(eq_row, num_vars), dtype=float
+    )
+
+    objective = np.zeros(num_vars)
+    objective[credit_start:met_start] = -1.0  # maximise total credit
+    if objective_mode == "slo":
+        # lexicographic: one met request outweighs any achievable credit sum
+        met_weight = sum(needed) + 1.0
+        objective[met_start:] = -met_weight
+
+    constraints = [
+        LinearConstraint(a_ub, ub=np.asarray(b_ub), lb=np.full(row, -np.inf)),
+    ]
+    if eq_row:
+        constraints.append(
+            LinearConstraint(a_eq, lb=np.zeros(eq_row), ub=np.zeros(eq_row))
+        )
+    result = milp(
+        c=objective,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=Bounds(np.zeros(num_vars), upper),
+        options={"mip_rel_gap": 1e-9},
+    )
+    if not result.success:
+        raise InfeasibleError(f"joint MILP failed: {result.message}")
+    values = np.asarray(result.x, dtype=float)
+
+    assignments: list[dict[tuple[int, int], int]] = []
+    for j in range(num_requests):
+        counts: dict[int, int] = {}
+        for offset, (pos, _k) in enumerate(z_cols[j]):
+            if values[z_start[j] + offset] > 0.5:
+                counts[pos] = counts.get(pos, 0) + 1
+        slots: dict[int, list[int]] = {}
+        for offset, (pos, u, _d) in enumerate(y_cols[j]):
+            copies = int(round(values[y_start[j] + offset]))
+            if copies > 0:
+                slots.setdefault(pos, []).extend([u] * copies)
+        decoded: dict[tuple[int, int], int] = {}
+        for pos, m in counts.items():
+            for k, u in zip(range(1, m + 1), sorted(slots.get(pos, []))):
+                decoded[(pos, k)] = u
+        assignments.append(decoded)
+
+    credits = [float(values[credit_start + j]) for j in range(num_requests)]
+    met = [bool(values[met_start + j] > 0.5) for j in range(num_requests)]
+    return JointSolution(
+        assignments=assignments,
+        credited_gain=credits,
+        met=met,
+        objective=float(sum(credits)),
+    )

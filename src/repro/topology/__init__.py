@@ -1,0 +1,58 @@
+"""Random MEC topology generation.
+
+The paper generates each network topology "using the widely adopted approach
+due to GT-ITM" (Section 7.1).  GT-ITM's flat random graphs are Waxman-model
+graphs: nodes are scattered uniformly in the unit square and each pair
+``(u, v)`` is connected with probability
+``alpha * exp(-d(u, v) / (beta * L))`` where ``d`` is Euclidean distance and
+``L`` the maximum possible distance.  :func:`generate_gtitm_topology`
+reproduces that construction (with a connectivity repair pass, as GT-ITM
+users conventionally apply), and :func:`repro.topology.placement.build_mec_network`
+turns a bare graph into an :class:`~repro.netmodel.graph.MECNetwork` by
+co-locating cloudlets with a random 10% of APs and drawing capacities from
+``U[4000, 8000]`` MHz.
+
+Additional graph families (ER, grid, ring, tree, star, complete) support
+unit tests and the topology-sensitivity ablation.
+"""
+
+from repro.topology.families import (
+    barabasi_albert_topology,
+    complete_topology,
+    erdos_renyi_topology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.topology.gtitm import WaxmanParameters, generate_gtitm_topology
+from repro.topology.placement import (
+    CloudletPlacementConfig,
+    assign_cloudlets,
+    build_mec_network,
+)
+from repro.topology.transit_stub import (
+    TransitStubParameters,
+    generate_transit_stub_topology,
+    transit_stub_cloudlets,
+)
+
+__all__ = [
+    "CloudletPlacementConfig",
+    "TransitStubParameters",
+    "WaxmanParameters",
+    "assign_cloudlets",
+    "barabasi_albert_topology",
+    "build_mec_network",
+    "complete_topology",
+    "erdos_renyi_topology",
+    "generate_gtitm_topology",
+    "generate_transit_stub_topology",
+    "grid_topology",
+    "line_topology",
+    "ring_topology",
+    "star_topology",
+    "transit_stub_cloudlets",
+    "tree_topology",
+]

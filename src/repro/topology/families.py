@@ -1,0 +1,129 @@
+"""Deterministic and classic random graph families.
+
+These are *not* part of the paper's evaluation (which uses GT-ITM/Waxman
+graphs exclusively) but serve two purposes in this repository:
+
+* unit and property tests need small graphs with hand-checkable ``l``-hop
+  neighborhoods (lines, rings, stars, grids, trees, complete graphs);
+* the topology-sensitivity ablation (``benchmarks/bench_topologies.py``)
+  re-runs the paper's pipeline on Erdos-Renyi and grid topologies to show
+  the algorithms' relative ordering is not an artifact of the Waxman model.
+
+All generators return connected undirected :class:`networkx.Graph` objects
+on contiguous integer nodes, matching :func:`generate_gtitm_topology`'s
+contract so they are drop-in substitutes everywhere.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.util.errors import ValidationError
+from repro.util.rng import RandomState, as_rng
+
+
+def _require_positive(n: int, name: str = "num_nodes") -> None:
+    if n <= 0:
+        raise ValidationError(f"{name} must be positive, got {n}")
+
+
+def line_topology(num_nodes: int) -> nx.Graph:
+    """A path ``0 - 1 - ... - (n-1)``; hop distances are ``|i - j|``."""
+    _require_positive(num_nodes)
+    return nx.path_graph(num_nodes)
+
+
+def ring_topology(num_nodes: int) -> nx.Graph:
+    """A cycle; requires ``n >= 3``."""
+    if num_nodes < 3:
+        raise ValidationError(f"a ring needs >= 3 nodes, got {num_nodes}")
+    return nx.cycle_graph(num_nodes)
+
+
+def star_topology(num_nodes: int) -> nx.Graph:
+    """A star with hub 0 and ``n - 1`` leaves."""
+    _require_positive(num_nodes)
+    if num_nodes == 1:
+        return nx.path_graph(1)
+    return nx.star_graph(num_nodes - 1)
+
+
+def complete_topology(num_nodes: int) -> nx.Graph:
+    """The complete graph ``K_n`` -- every placement is 1-hop local.
+
+    On ``K_n`` the ``l``-hop constraint is vacuous for any ``l >= 1``; this
+    is the graph class used in the paper's NP-hardness reduction (Thm 3.1).
+    """
+    _require_positive(num_nodes)
+    return nx.complete_graph(num_nodes)
+
+
+def grid_topology(rows: int, cols: int) -> nx.Graph:
+    """A ``rows x cols`` 4-neighbor grid, relabelled to integers row-major."""
+    _require_positive(rows, "rows")
+    _require_positive(cols, "cols")
+    grid = nx.grid_2d_graph(rows, cols)
+    mapping = {(r, c): r * cols + c for r in range(rows) for c in range(cols)}
+    return nx.relabel_nodes(grid, mapping)
+
+
+def tree_topology(num_nodes: int, branching: int = 2) -> nx.Graph:
+    """A balanced-ish tree: node ``i >= 1`` attaches to ``(i - 1) // branching``."""
+    _require_positive(num_nodes)
+    if branching <= 0:
+        raise ValidationError(f"branching must be positive, got {branching}")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    for i in range(1, num_nodes):
+        graph.add_edge(i, (i - 1) // branching)
+    return graph
+
+
+def barabasi_albert_topology(
+    num_nodes: int,
+    attachments: int = 2,
+    rng: RandomState = None,
+) -> nx.Graph:
+    """A Barabási–Albert preferential-attachment graph (BRITE's model).
+
+    Scale-free degree distribution: a few hub APs accumulate most links,
+    matching router-level internet measurements better than Waxman's
+    geometric model.  Always connected by construction (each new node
+    attaches to ``attachments`` existing ones).
+    """
+    _require_positive(num_nodes)
+    if not (1 <= attachments < max(2, num_nodes)):
+        raise ValidationError(
+            f"attachments must be in [1, num_nodes), got {attachments}"
+        )
+    gen = as_rng(rng)
+    seed = int(gen.integers(0, 2**31 - 1))
+    return nx.barabasi_albert_graph(num_nodes, attachments, seed=seed)
+
+
+def erdos_renyi_topology(
+    num_nodes: int,
+    edge_probability: float = 0.08,
+    rng: RandomState = None,
+    max_attempts: int = 200,
+) -> nx.Graph:
+    """A connected ``G(n, p)`` graph, re-drawn until connected.
+
+    Raises
+    ------
+    ValidationError
+        If no connected draw is found within ``max_attempts`` (choose a
+        larger ``edge_probability``).
+    """
+    _require_positive(num_nodes)
+    if not (0.0 <= edge_probability <= 1.0):
+        raise ValidationError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    gen = as_rng(rng)
+    for _ in range(max_attempts):
+        seed = int(gen.integers(0, 2**31 - 1))
+        graph = nx.gnp_random_graph(num_nodes, edge_probability, seed=seed)
+        if num_nodes == 1 or nx.is_connected(graph):
+            return graph
+    raise ValidationError(
+        f"no connected G({num_nodes}, {edge_probability}) draw in {max_attempts} attempts"
+    )

@@ -1,0 +1,28 @@
+"""Shared utilities: RNG plumbing, timing, errors, and table formatting.
+
+These helpers are deliberately dependency-light so every other subpackage can
+import them without cycles.
+"""
+
+from repro.util.errors import (
+    CapacityError,
+    InfeasibleError,
+    ReproError,
+    ValidationError,
+)
+from repro.util.rng import RandomState, as_rng, spawn_rng
+from repro.util.tables import format_table
+from repro.util.timing import Stopwatch, timed
+
+__all__ = [
+    "CapacityError",
+    "InfeasibleError",
+    "RandomState",
+    "ReproError",
+    "Stopwatch",
+    "ValidationError",
+    "as_rng",
+    "format_table",
+    "spawn_rng",
+    "timed",
+]

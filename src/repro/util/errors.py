@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library may raise with a single ``except`` clause while
+still being able to distinguish the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError):
+    """A model object or solution failed an invariant check.
+
+    Raised by :mod:`repro.core.validation` when a solution violates one of
+    the guarantees promised by the paper (capacity bounds, l-hop locality,
+    prefix structure, budget accounting) and by model constructors when they
+    are given inconsistent inputs.
+    """
+
+
+class CapacityError(ReproError):
+    """An allocation would exceed a cloudlet's residual computing capacity.
+
+    Raised by :class:`repro.netmodel.capacity.CapacityLedger` when a caller
+    attempts to allocate more than the remaining capacity without explicitly
+    opting into violation tracking.
+    """
+
+
+class InfeasibleError(ReproError):
+    """An optimisation model has no feasible solution.
+
+    Raised by the LP/ILP solver layer when the constraint system is
+    inconsistent.  For the augmentation problem this should never happen --
+    the empty placement is always feasible -- so seeing this error indicates
+    a malformed model.
+    """

@@ -1,0 +1,68 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library (topology generation, workload
+generation, randomized rounding) accepts a ``rng`` argument that may be
+
+* ``None`` -- a fresh, OS-seeded generator is created;
+* an ``int`` seed -- a deterministic generator is created from it;
+* an existing :class:`numpy.random.Generator` -- used as-is.
+
+Centralising the coercion here keeps experiment runs reproducible end-to-end:
+a single integer seed at the harness level deterministically drives topology,
+workload, and algorithm randomness through :func:`spawn_rng` sub-streams.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+#: The union of things accepted wherever the library takes a ``rng`` argument.
+RandomState = Union[None, int, np.random.Generator]
+
+
+def as_rng(rng: RandomState = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for OS entropy, an integer seed, or an existing generator.
+
+    Returns
+    -------
+    numpy.random.Generator
+        A generator; existing generators are returned unchanged so that the
+        caller's stream position is preserved.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Uses :meth:`numpy.random.Generator.spawn` when available (NumPy >= 1.25)
+    and falls back to seeding children from the parent stream otherwise.
+    Children are statistically independent of each other and of the parent's
+    subsequent output, which lets a harness hand one stream to each trial of
+    an experiment without cross-trial coupling.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    try:
+        return list(rng.spawn(count))
+    except AttributeError:  # pragma: no cover - old numpy fallback
+        seeds = rng.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh 63-bit seed from ``rng``.
+
+    Useful when an API boundary requires an integer seed (e.g. recording the
+    seed of a trial in a result record so it can be replayed later).
+    """
+    return int(rng.integers(0, 2**63 - 1))

@@ -1,0 +1,70 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper's figures plot;
+:func:`format_table` renders them as aligned monospace tables so the output
+of ``pytest benchmarks/ --benchmark-only`` is directly comparable with the
+paper's curves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _fmt_cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    floatfmt: str = ".4f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; each row must have ``len(headers)`` cells.
+        Floats are formatted with ``floatfmt``; everything else with ``str``.
+    floatfmt:
+        ``format()`` spec applied to float cells.
+    title:
+        Optional title line printed above the table.
+
+    Returns
+    -------
+    str
+        The rendered table, without a trailing newline.
+    """
+    str_rows: list[list[str]] = []
+    for row in rows:
+        cells = [_fmt_cell(v, floatfmt) for v in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(headers)} columns"
+            )
+        str_rows.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in str_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(cells) for cells in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Wall-clock timing helpers used by the experiment harness.
+
+The paper's Figures 1(c), 2(c) and 3(c) report algorithm running times; the
+harness measures them with :class:`Stopwatch`, a tiny context manager around
+:func:`time.perf_counter`.  Keeping the measurement in one place ensures all
+algorithms are timed identically (model build time included, I/O excluded).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating wall-clock stopwatch.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    #: Total seconds accumulated across all completed ``with`` blocks.
+    elapsed: float = 0.0
+    #: Number of completed measurement intervals.
+    laps: int = 0
+    _started: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed += time.perf_counter() - self._started
+        self.laps += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per lap (0.0 before the first lap completes)."""
+        return self.elapsed / self.laps if self.laps else 0.0
+
+    def reset(self) -> None:
+        """Zero the accumulated time and lap count."""
+        self.elapsed = 0.0
+        self.laps = 0
+
+
+@contextmanager
+def timed() -> Iterator[Stopwatch]:
+    """Context manager yielding a stopwatch that times the ``with`` body.
+
+    >>> with timed() as sw:
+    ...     _ = [i * i for i in range(100)]
+    >>> sw.elapsed > 0
+    True
+    """
+    sw = Stopwatch()
+    start = time.perf_counter()
+    try:
+        yield sw
+    finally:
+        sw.elapsed = time.perf_counter() - start
+        sw.laps = 1
+
+
+def time_call(fn: Callable[..., T], *args: object, **kwargs: object) -> tuple[T, float]:
+    """Call ``fn`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,86 @@
+"""Shared fixtures: small hand-checkable networks, catalogs, and problems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import AugmentationProblem
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.workload import make_trial
+from repro.netmodel.graph import MECNetwork
+from repro.netmodel.vnf import Request, ServiceFunctionChain, VNFCatalog, VNFType
+from repro.topology.families import line_topology, ring_topology
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def line_network() -> MECNetwork:
+    """A 5-node path; every node is a cloudlet with capacity 1000.
+
+    Topology: 0 - 1 - 2 - 3 - 4.  With radius 1, N_1^+(2) = {1, 2, 3}.
+    """
+    return MECNetwork(line_topology(5), {v: 1000.0 for v in range(5)})
+
+
+@pytest.fixture
+def ring_network() -> MECNetwork:
+    """A 6-node ring; cloudlets at even nodes with capacity 900."""
+    return MECNetwork(ring_topology(6), {0: 900.0, 2: 900.0, 4: 900.0})
+
+
+@pytest.fixture
+def small_catalog() -> VNFCatalog:
+    """Three deterministic VNF types with round numbers."""
+    return VNFCatalog(
+        [
+            VNFType("fw", demand=200.0, reliability=0.8),
+            VNFType("nat", demand=300.0, reliability=0.85),
+            VNFType("ids", demand=250.0, reliability=0.9),
+        ]
+    )
+
+
+@pytest.fixture
+def small_request(small_catalog: VNFCatalog) -> Request:
+    """A 3-function chain (fw -> nat -> ids) expecting 0.95."""
+    chain = ServiceFunctionChain(
+        [small_catalog["fw"], small_catalog["nat"], small_catalog["ids"]]
+    )
+    return Request("req-small", chain, expectation=0.95)
+
+
+@pytest.fixture
+def small_problem(line_network: MECNetwork, small_request: Request) -> AugmentationProblem:
+    """Primaries on nodes 1, 2, 3 of the line; full capacities as residuals.
+
+    A compact instance where the ILP optimum is reachable by hand-checking.
+    """
+    return AugmentationProblem.build(
+        line_network,
+        small_request,
+        primary_placement=[1, 2, 3],
+        radius=1,
+        residuals={v: 1000.0 for v in range(5)},
+    )
+
+
+@pytest.fixture
+def tiny_settings() -> ExperimentSettings:
+    """Paper settings shrunk for fast tests (small network, few trials)."""
+    return ExperimentSettings(
+        num_aps=30,
+        cloudlet_fraction=0.2,
+        trials=3,
+    )
+
+
+@pytest.fixture
+def paper_trial(tiny_settings: ExperimentSettings):
+    """One full workload trial on the shrunk settings."""
+    return make_trial(tiny_settings, rng=99)

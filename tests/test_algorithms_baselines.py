@@ -1,0 +1,101 @@
+"""Tests for the baseline algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.baselines import GreedyGain, NoAugmentation
+from repro.algorithms.ilp_exact import ILPAlgorithm
+from repro.core.problem import AugmentationProblem
+from repro.core.validation import check_solution
+from repro.netmodel.graph import MECNetwork
+from repro.netmodel.vnf import Request, ServiceFunctionChain, VNFType
+from repro.topology.families import line_topology
+from repro.util.errors import ValidationError
+
+
+class TestNoAugmentation:
+    def test_reports_baseline(self, small_problem):
+        result = NoAugmentation().solve(small_problem)
+        assert result.num_backups == 0
+        assert result.reliability == pytest.approx(small_problem.baseline_reliability)
+        assert not result.expectation_met
+
+
+class TestGreedyGain:
+    def test_solution_validates(self, small_problem):
+        result = GreedyGain().solve(small_problem)
+        report = check_solution(
+            small_problem, result.solution, claimed_reliability=result.reliability
+        )
+        assert report.ok
+
+    def test_never_violates(self, small_problem):
+        result = GreedyGain(stop_at_expectation=False).solve(small_problem)
+        assert not result.has_violations
+
+    def test_reaches_expectation_with_room(self, small_problem):
+        result = GreedyGain().solve(small_problem)
+        assert result.expectation_met
+
+    def test_bounded_by_ilp(self, small_problem):
+        ilp = ILPAlgorithm(stop_at_expectation=False).solve(small_problem)
+        greedy = GreedyGain(stop_at_expectation=False).solve(small_problem)
+        assert greedy.reliability <= ilp.reliability + 1e-5
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            GreedyGain(bin_policy="wat")
+
+    def test_policies_differ_in_name(self):
+        assert GreedyGain("max_residual").name != GreedyGain("best_fit").name
+
+    def test_best_fit_packs_tight_bin_first(self):
+        """best_fit prefers the snuggest bin; max_residual the roomiest."""
+        network = MECNetwork(line_topology(3), {0: 250.0, 1: 900.0, 2: 250.0})
+        func = VNFType("f", demand=200.0, reliability=0.7)
+        request = Request("r", ServiceFunctionChain([func]), expectation=0.9999)
+        problem = AugmentationProblem.build(
+            network, request, [1], residuals={0: 250.0, 1: 900.0, 2: 250.0},
+            # generous items so both policies act
+        )
+        best_fit = GreedyGain("best_fit").solve(problem)
+        max_residual = GreedyGain("max_residual").solve(problem)
+        first_bf = best_fit.solution.placements[0].bin
+        first_mr = max_residual.solution.placements[0].bin
+        assert first_bf in (0, 2)
+        assert first_mr == 1
+
+    def test_early_exit(self, line_network):
+        func = VNFType("f", demand=100.0, reliability=0.999)
+        request = Request("r", ServiceFunctionChain([func]), expectation=0.99)
+        problem = AugmentationProblem.build(line_network, request, [2])
+        result = GreedyGain().solve(problem)
+        assert result.meta.get("early_exit") is True
+
+    def test_retires_unfittable_positions(self):
+        """A position whose demand no longer fits is skipped, others continue.
+
+        Gain order: big k=1 (0.405) > small k=1 (0.262) > big k=2 (0.223) >
+        small k=2 (0.067) ...  Big k=1 takes bin 0 (residual 100); small k=1
+        takes bin 1 down to 700; big k=2 then fits nowhere and the position
+        is retired while small keeps packing.
+        """
+        network = MECNetwork(line_topology(2), {0: 1000.0, 1: 1000.0})
+        big = VNFType("big", demand=900.0, reliability=0.5)
+        small = VNFType("small", demand=300.0, reliability=0.7)
+        request = Request(
+            "r", ServiceFunctionChain([big, small]), expectation=0.9999999
+        )
+        problem = AugmentationProblem.build(
+            network, request, [0, 1], residuals={0: 1000.0, 1: 1000.0}
+        )
+        result = GreedyGain(stop_at_expectation=False).solve(problem)
+        counts = result.solution.backup_counts(2)
+        assert counts[0] == 1  # the second 900-demand backup found no room
+        assert counts[1] >= 2  # the small position kept going afterwards
+
+    def test_deterministic(self, small_problem):
+        a = GreedyGain().solve(small_problem)
+        b = GreedyGain().solve(small_problem)
+        assert a.reliability == b.reliability

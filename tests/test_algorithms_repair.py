@@ -1,0 +1,148 @@
+"""Tests for capacity repair and the repaired randomized algorithm."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.ilp_exact import ILPAlgorithm
+from repro.algorithms.randomized import RandomizedRounding, round_exclusively
+from repro.algorithms.repair import RepairedRandomizedRounding, repair_capacity
+from repro.core.problem import AugmentationProblem
+from repro.core.validation import check_solution
+from repro.core.solution import AugmentationSolution
+from repro.netmodel.graph import MECNetwork
+from repro.netmodel.vnf import Request, ServiceFunctionChain, VNFType
+from repro.solvers.lp import solve_lp
+from repro.solvers.model import build_model
+from repro.topology.families import line_topology, star_topology
+from repro.util.rng import as_rng
+
+
+def _build_tight_problem() -> AugmentationProblem:
+    """A single overloadable cloudlet plus a spill-over neighbor.
+
+    Star hub 0 (capacity 500) hosts three primaries; leaf 1 has capacity
+    250 so exactly one 200-demand item can be relocated there.
+    """
+    network = MECNetwork(star_topology(4), {0: 500.0, 1: 250.0})
+    func = VNFType("f", demand=200.0, reliability=0.6)
+    request = Request("r", ServiceFunctionChain([func] * 3), expectation=0.999999)
+    return AugmentationProblem.build(
+        network, request, [0, 0, 0], residuals={0: 500.0, 1: 250.0}
+    )
+
+
+@pytest.fixture
+def tight_problem() -> AugmentationProblem:
+    return _build_tight_problem()
+
+
+class TestRepairCapacity:
+    def test_feasible_input_untouched_counts(self, small_problem):
+        assignments = {(0, 1): 1, (1, 1): 2}
+        repaired, moved, dropped = repair_capacity(small_problem, assignments)
+        assert moved == 0 and dropped == 0
+        assert len(repaired) == 2
+
+    def test_overload_resolved(self, tight_problem):
+        # all three positions' first items on hub 0: load 600 > 500
+        assignments = {(0, 1): 0, (1, 1): 0, (2, 1): 0}
+        repaired, moved, dropped = repair_capacity(tight_problem, assignments)
+        solution = AugmentationSolution.from_assignments(tight_problem, repaired)
+        report = check_solution(tight_problem, solution)
+        assert report.ok, report.issues
+        assert moved + dropped >= 1
+
+    def test_prefers_moving_over_dropping(self, tight_problem):
+        assignments = {(0, 1): 0, (1, 1): 0, (2, 1): 0}
+        repaired, moved, dropped = repair_capacity(tight_problem, assignments)
+        # leaf 1 has room for one item, so repair moves rather than drops
+        assert moved == 1
+        assert dropped == 0
+        assert len(repaired) == 3
+
+    def test_drops_when_nowhere_to_go(self):
+        network = MECNetwork(line_topology(3), {1: 500.0})
+        func = VNFType("f", demand=200.0, reliability=0.6)
+        request = Request("r", ServiceFunctionChain([func] * 3), expectation=0.999999)
+        problem = AugmentationProblem.build(
+            network, request, [1, 1, 1], residuals={1: 500.0}
+        )
+        assignments = {(0, 1): 1, (1, 1): 1, (2, 1): 1}
+        repaired, moved, dropped = repair_capacity(problem, assignments)
+        assert moved == 0
+        assert dropped == 1
+        assert len(repaired) == 2
+
+    def test_drops_smallest_gain_first(self):
+        """The victim is the lowest-gain placement on the overloaded bin."""
+        network = MECNetwork(line_topology(3), {1: 500.0})
+        weak = VNFType("weak", demand=200.0, reliability=0.6)   # higher gains
+        strong = VNFType("strong", demand=200.0, reliability=0.95)  # lower gains
+        request = Request(
+            "r", ServiceFunctionChain([weak, strong, weak]), expectation=0.9999999
+        )
+        problem = AugmentationProblem.build(
+            network, request, [1, 1, 1], residuals={1: 500.0}
+        )
+        assignments = {(0, 1): 1, (1, 1): 1, (2, 1): 1}
+        repaired, _moved, dropped = repair_capacity(problem, assignments)
+        assert dropped == 1
+        assert (1, 1) not in repaired  # the strong function's backup went
+
+    @given(seed=st.integers(0, 2_000))
+    @settings(max_examples=30, deadline=None)
+    def test_repaired_roundings_always_feasible(self, seed):
+        # built inside the test: hypothesis forbids function-scoped fixtures
+        problem = _build_tight_problem()
+        model = build_model(problem)
+        lp = solve_lp(model)
+        rounded = round_exclusively(model, lp, as_rng(seed))
+        repaired, _m, _d = repair_capacity(problem, rounded)
+        solution = AugmentationSolution.from_assignments(problem, repaired)
+        assert check_solution(problem, solution).ok
+
+
+class TestRepairedRandomizedRounding:
+    def test_never_violates(self, tight_problem):
+        for seed in range(20):
+            result = RepairedRandomizedRounding(stop_at_expectation=False).solve(
+                tight_problem, rng=seed
+            )
+            assert not result.has_violations
+            assert result.usage_max <= 1.0 + 1e-9
+
+    def test_validates(self, small_problem):
+        result = RepairedRandomizedRounding().solve(small_problem, rng=3)
+        report = check_solution(
+            small_problem, result.solution, claimed_reliability=result.reliability
+        )
+        assert report.ok
+
+    def test_bounded_by_ilp(self, tight_problem):
+        ilp = ILPAlgorithm(stop_at_expectation=False).solve(tight_problem)
+        for seed in range(10):
+            result = RepairedRandomizedRounding(stop_at_expectation=False).solve(
+                tight_problem, rng=seed
+            )
+            assert result.reliability <= ilp.reliability + 1e-5
+
+    def test_close_to_unrepaired_when_no_violation(self, small_problem):
+        """On slack instances repair is a no-op: both variants agree."""
+        raw = RandomizedRounding().solve(small_problem, rng=8)
+        repaired = RepairedRandomizedRounding().solve(small_problem, rng=8)
+        if not raw.has_violations:
+            assert repaired.reliability == pytest.approx(raw.reliability, abs=1e-9)
+
+    def test_meta_counts(self, tight_problem):
+        result = RepairedRandomizedRounding().solve(tight_problem, rng=1)
+        assert "moved" in result.meta and "dropped" in result.meta
+
+    def test_early_exit(self, line_network):
+        func = VNFType("f", demand=100.0, reliability=0.999)
+        request = Request("r", ServiceFunctionChain([func]), expectation=0.99)
+        problem = AugmentationProblem.build(line_network, request, [2])
+        result = RepairedRandomizedRounding().solve(problem)
+        assert result.meta.get("early_exit") is True

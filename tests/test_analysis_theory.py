@@ -1,0 +1,91 @@
+"""Tests for the Theorem 5.2 analytical-bounds evaluator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.theory import theorem52_bounds
+from repro.core.problem import AugmentationProblem
+from repro.netmodel.graph import MECNetwork
+from repro.netmodel.vnf import Request, ServiceFunctionChain, VNFType
+from repro.topology.families import line_topology
+
+
+class TestTheorem52Bounds:
+    def test_lambda_components(self, small_problem):
+        bounds = theorem52_bounds(small_problem)
+        max_cost = max(it.cost for it in small_problem.items)
+        max_cap = max(small_problem.residuals.values())
+        max_demand = max(it.demand for it in small_problem.items)
+        assert bounds.big_lambda == pytest.approx(
+            max(max_cost, max_cap, max_demand, small_problem.budget)
+        )
+        # MHz-scale capacities dominate Lambda on realistic instances
+        assert bounds.big_lambda == pytest.approx(max_cap)
+
+    def test_item_count(self, small_problem):
+        assert theorem52_bounds(small_problem).num_items == small_problem.num_items
+
+    def test_success_probability(self, small_problem):
+        bounds = theorem52_bounds(small_problem)
+        n, v = small_problem.num_items, small_problem.network.num_nodes
+        assert bounds.success_probability == pytest.approx(
+            min(1 - 1 / n, 1 - 1 / v**2)
+        )
+
+    def test_capacity_premise_fails_on_realistic_instances(self, small_problem):
+        """Lambda is MHz-scale, so 6*Lambda*ln|V| dwarfs actual capacities --
+        the reason the paper's empirical results beat its analysis."""
+        bounds = theorem52_bounds(small_problem)
+        assert not bounds.capacity_premise_met
+
+    def test_capacity_premise_can_hold_on_toy_instances(self):
+        """With unit-scale numbers the premise is satisfiable."""
+        network = MECNetwork(line_topology(3), {0: 50.0, 1: 50.0, 2: 50.0})
+        func = VNFType("f", demand=1.0, reliability=0.8)
+        request = Request("r", ServiceFunctionChain([func]), expectation=0.95)
+        problem = AugmentationProblem.build(
+            network, request, [1], residuals={0: 50.0, 1: 50.0, 2: 50.0}
+        )
+        bounds = theorem52_bounds(problem)
+        # Lambda = max residual = 50; 6*50*ln 3 ~ 330 > 50 -> still fails;
+        # the premise genuinely requires capacity >> Lambda, i.e. many more
+        # unit-demand slots than any single number in the cost structure.
+        assert bounds.big_lambda == pytest.approx(50.0)
+        assert not bounds.capacity_premise_met
+
+    def test_reliability_quantities_require_pstar(self, small_problem):
+        bounds = theorem52_bounds(small_problem)
+        assert bounds.reliability_premise_met is None
+        assert bounds.approx_ratio is None
+
+    def test_approx_ratio_formula(self, small_problem):
+        p_star = 0.9
+        bounds = theorem52_bounds(small_problem, optimal_reliability=p_star)
+        expected = (1 / p_star) ** (1 - 2 / bounds.big_lambda)
+        assert bounds.approx_ratio == pytest.approx(expected)
+        assert bounds.approx_ratio > 1.0
+
+    def test_reliability_premise(self, small_problem):
+        bounds = theorem52_bounds(small_problem, optimal_reliability=0.99)
+        n, lam = bounds.num_items, bounds.big_lambda
+        threshold = n ** (-3 * lam / math.log10(math.e))
+        assert bounds.reliability_premise_met == (0.99 >= threshold)
+
+    def test_invalid_pstar(self, small_problem):
+        with pytest.raises(ValueError):
+            theorem52_bounds(small_problem, optimal_reliability=0.0)
+
+    def test_violation_factor_is_two(self, small_problem):
+        assert theorem52_bounds(small_problem).violation_factor == 2.0
+
+    def test_empty_problem(self, line_network, small_request):
+        problem = AugmentationProblem.build(
+            line_network, small_request, [1, 2, 3],
+            residuals={v: 0.0 for v in range(5)},
+        )
+        bounds = theorem52_bounds(problem)
+        assert bounds.num_items == 0
+        assert bounds.big_lambda == pytest.approx(problem.budget)

@@ -1,0 +1,92 @@
+"""Three-way consistency: algebra vs Monte-Carlo vs discrete-event.
+
+The reliability of a placed chain is computed by three independent
+mechanisms in this repository:
+
+1. the closed-form algebra (Eq. 1, `repro.core.reliability`);
+2. the one-shot Monte-Carlo failure-world sampler
+   (`repro.netmodel.failures`);
+3. the discrete-event failover simulator with zero switchover delay
+   (`repro.simulation`), whose steady-state availability must equal the
+   same product by the renewal-reward theorem.
+
+Any disagreement flags a modelling bug in one of the three.  The tolerance
+reflects the samplers' statistical noise at the configured budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.core.problem import AugmentationProblem
+from repro.core.solution import AugmentationSolution
+from repro.netmodel.failures import simulate_chain_reliability
+from repro.netmodel.graph import MECNetwork
+from repro.netmodel.vnf import Request, ServiceFunctionChain, VNFType
+from repro.simulation import SimulationConfig, simulate_solution
+from repro.topology.families import grid_topology
+
+
+@pytest.fixture(scope="module")
+def placed_chain():
+    """A 3-function chain with a heuristic augmentation on a 3x3 grid."""
+    network = MECNetwork(grid_topology(3, 3), {v: 1200.0 for v in range(9)})
+    funcs = [
+        VNFType("a", 250.0, 0.8),
+        VNFType("b", 300.0, 0.85),
+        VNFType("c", 200.0, 0.75),
+    ]
+    request = Request("tri", ServiceFunctionChain(funcs), expectation=0.98)
+    problem = AugmentationProblem.build(
+        network, request, [0, 4, 8], residuals={v: 1200.0 for v in range(9)}
+    )
+    solution = MatchingHeuristic().solve(problem).solution
+    return problem, solution
+
+
+class TestThreeWayConsistency:
+    def test_monte_carlo_matches_algebra(self, placed_chain):
+        problem, solution = placed_chain
+        algebra = solution.reliability(problem)
+        mc = simulate_chain_reliability(problem, solution, trials=60_000, rng=1)
+        assert mc.within(algebra, sigmas=4)
+
+    def test_discrete_event_matches_algebra(self, placed_chain):
+        problem, solution = placed_chain
+        algebra = solution.reliability(problem)
+        report = simulate_solution(
+            problem,
+            solution,
+            SimulationConfig(horizon=6_000.0, base_delay=0.0, per_hop_delay=0.0),
+            rng=2,
+        )
+        assert report.availability == pytest.approx(algebra, abs=0.02)
+        assert report.static_prediction == pytest.approx(algebra)
+
+    def test_all_three_on_bare_primaries(self, placed_chain):
+        problem, _ = placed_chain
+        empty = AugmentationSolution.empty()
+        algebra = problem.baseline_reliability
+        mc = simulate_chain_reliability(problem, empty, trials=60_000, rng=3)
+        de = simulate_solution(
+            problem,
+            empty,
+            SimulationConfig(horizon=6_000.0, base_delay=0.0, per_hop_delay=0.0),
+            rng=4,
+        )
+        assert mc.within(algebra, sigmas=4)
+        assert de.availability == pytest.approx(algebra, abs=0.02)
+
+    def test_switchover_delay_only_hurts(self, placed_chain):
+        """The discrete-event model with delays sits below the algebra."""
+        problem, solution = placed_chain
+        algebra = solution.reliability(problem)
+        report = simulate_solution(
+            problem,
+            solution,
+            SimulationConfig(horizon=6_000.0, base_delay=0.01, per_hop_delay=0.02),
+            rng=5,
+        )
+        assert report.availability <= algebra + 0.02
+        assert report.switchover_fraction > 0.0

@@ -1,0 +1,133 @@
+"""Tests for AugmentationProblem construction and derived quantities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.items import ItemGenerationConfig
+from repro.core.problem import (
+    AugmentationProblem,
+    assert_finite_budget,
+    residuals_after_primaries,
+)
+from repro.netmodel.graph import MECNetwork
+from repro.netmodel.vnf import Request, ServiceFunctionChain, VNFType
+from repro.topology.families import line_topology
+from repro.util.errors import ValidationError
+
+
+class TestResidualsAfterPrimaries:
+    def test_deduction(self, line_network, small_request):
+        residuals = residuals_after_primaries(line_network, small_request, [1, 1, 3])
+        assert residuals[1] == pytest.approx(1000.0 - 200.0 - 300.0)
+        assert residuals[3] == pytest.approx(1000.0 - 250.0)
+        assert residuals[0] == 1000.0
+
+    def test_overflow_rejected(self, small_request):
+        network = MECNetwork(line_topology(3), {0: 100.0, 1: 1000.0, 2: 1000.0})
+        with pytest.raises(ValidationError):
+            residuals_after_primaries(network, small_request, [0, 1, 2])
+
+    def test_non_cloudlet_rejected(self, small_request):
+        network = MECNetwork(line_topology(3), {0: 1000.0, 2: 1000.0})
+        with pytest.raises(ValidationError):
+            residuals_after_primaries(network, small_request, [0, 1, 2])
+
+
+class TestBuild:
+    def test_default_residuals_deduct_primaries(self, line_network, small_request):
+        problem = AugmentationProblem.build(
+            line_network, small_request, [1, 2, 3], radius=1
+        )
+        assert problem.residuals[1] == pytest.approx(800.0)
+        assert problem.residuals[2] == pytest.approx(700.0)
+
+    def test_explicit_residuals_used_verbatim(self, small_problem):
+        assert small_problem.residuals[1] == 1000.0
+
+    def test_placement_length_checked(self, line_network, small_request):
+        with pytest.raises(ValidationError):
+            AugmentationProblem.build(line_network, small_request, [1, 2])
+
+    def test_primary_on_non_cloudlet_rejected(self, small_request):
+        network = MECNetwork(line_topology(4), {0: 5000.0, 3: 5000.0})
+        with pytest.raises(ValidationError):
+            AugmentationProblem.build(
+                network, small_request, [0, 1, 3], residuals={0: 5000.0, 3: 5000.0}
+            )
+
+    def test_item_config_forwarded(self, line_network, small_request):
+        problem = AugmentationProblem.build(
+            line_network,
+            small_request,
+            [1, 2, 3],
+            residuals={v: 1000.0 for v in range(5)},
+            item_config=ItemGenerationConfig(
+                gain_floor=None, budget_headroom=None, max_backups_per_function=1
+            ),
+        )
+        assert problem.num_items == 3  # one per position
+
+
+class TestDerived:
+    def test_budget(self, small_problem):
+        assert small_problem.budget == pytest.approx(-math.log(0.95))
+
+    def test_reliabilities(self, small_problem):
+        assert small_problem.reliabilities == (0.8, 0.85, 0.9)
+
+    def test_baseline(self, small_problem):
+        assert small_problem.baseline_reliability == pytest.approx(0.8 * 0.85 * 0.9)
+        assert not small_problem.baseline_meets_expectation
+
+    def test_baseline_meets_expectation_true(self, line_network):
+        func = VNFType("f", demand=100.0, reliability=0.99)
+        request = Request("r", ServiceFunctionChain([func]), expectation=0.95)
+        problem = AugmentationProblem.build(line_network, request, [2])
+        assert problem.baseline_meets_expectation
+
+    def test_grouped_items(self, small_problem):
+        grouped = small_problem.grouped_items()
+        assert set(grouped) <= {0, 1, 2}
+        for items in grouped.values():
+            assert [it.k for it in items] == list(range(1, len(items) + 1))
+
+    def test_item_lookup(self, small_problem):
+        item = small_problem.item(0, 1)
+        assert item.position == 0 and item.k == 1
+        with pytest.raises(KeyError):
+            small_problem.item(0, 999)
+
+    def test_ledger_matches_residuals(self, small_problem):
+        ledger = small_problem.ledger()
+        for v, residual in small_problem.residuals.items():
+            assert ledger.residual(v) == residual
+
+    def test_ledgers_are_independent(self, small_problem):
+        a = small_problem.ledger()
+        b = small_problem.ledger()
+        a.allocate(1, 100.0)
+        assert b.residual(1) == 1000.0
+
+    def test_gain_upper_bound(self, small_problem):
+        assert small_problem.gain_upper_bound() == pytest.approx(
+            sum(it.gain for it in small_problem.items)
+        )
+
+    def test_reliability_from_counts(self, small_problem):
+        base = small_problem.reliability_from_counts([0, 0, 0])
+        assert base == pytest.approx(small_problem.baseline_reliability)
+        better = small_problem.reliability_from_counts([1, 1, 1])
+        assert better > base
+
+    def test_reliability_from_counts_length_checked(self, small_problem):
+        with pytest.raises(ValidationError):
+            small_problem.reliability_from_counts([1])
+
+    def test_describe_mentions_request(self, small_problem):
+        assert "req-small" in small_problem.describe()
+
+    def test_assert_finite_budget(self, small_problem):
+        assert_finite_budget(small_problem)  # no raise

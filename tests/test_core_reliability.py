@@ -1,0 +1,258 @@
+"""Tests for the reliability algebra, including Lemma 4.1 properties."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.reliability import (
+    backups_needed,
+    big_m_cost,
+    chain_reliability,
+    cumulative_gain,
+    function_reliability,
+    item_gain,
+    marginal_increment,
+    neg_log_chain_reliability,
+    paper_cost,
+    total_paper_cost,
+)
+from repro.util.errors import ValidationError
+
+reliabilities = st.floats(0.01, 0.999)
+ks = st.integers(0, 40)
+
+
+class TestFunctionReliability:
+    def test_primary_only(self):
+        assert function_reliability(0.8, 0) == pytest.approx(0.8)
+
+    def test_one_backup(self):
+        assert function_reliability(0.8, 1) == pytest.approx(1 - 0.04)
+
+    def test_closed_form(self):
+        assert function_reliability(0.7, 3) == pytest.approx(1 - 0.3**4)
+
+    def test_perfect_instance(self):
+        assert function_reliability(1.0, 0) == 1.0
+        assert function_reliability(1.0, 5) == 1.0
+
+    def test_invalid_r(self):
+        with pytest.raises(ValidationError):
+            function_reliability(0.0, 1)
+        with pytest.raises(ValidationError):
+            function_reliability(1.1, 1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValidationError):
+            function_reliability(0.5, -1)
+
+    @given(r=reliabilities, k=ks)
+    @settings(max_examples=200)
+    def test_monotone_increasing_in_k(self, r, k):
+        # Strict growth holds until (1 - r)^(k+2) saturates below float eps.
+        assume((1.0 - r) ** (k + 2) > 1e-14)
+        assert function_reliability(r, k + 1) > function_reliability(r, k)
+
+    @given(r=reliabilities, k=ks)
+    @settings(max_examples=200)
+    def test_bounded(self, r, k):
+        R = function_reliability(r, k)
+        assert r <= R <= 1.0 or math.isclose(R, r)
+
+
+class TestMarginalIncrement:
+    def test_base_case_is_r(self):
+        assert marginal_increment(0.8, 0) == pytest.approx(0.8)
+
+    def test_closed_form(self):
+        assert marginal_increment(0.8, 2) == pytest.approx(0.8 * 0.2**2)
+
+    def test_matches_difference(self):
+        r = 0.85
+        for k in range(1, 10):
+            diff = function_reliability(r, k) - function_reliability(r, k - 1)
+            assert marginal_increment(r, k) == pytest.approx(diff)
+
+    def test_perfect_instance(self):
+        assert marginal_increment(1.0, 0) == 1.0
+        assert marginal_increment(1.0, 3) == 0.0
+
+
+class TestPaperCost:
+    def test_base_case_eq4(self):
+        """c(f, 0, v) = -log R(f, 0) = -log r."""
+        assert paper_cost(0.8, 0) == pytest.approx(-math.log(0.8))
+
+    def test_eq3(self):
+        """c(f, k, u) = -log(R(f,k) - R(f,k-1))."""
+        r = 0.75
+        for k in range(1, 8):
+            expected = -math.log(marginal_increment(r, k))
+            assert paper_cost(r, k) == pytest.approx(expected)
+
+    def test_perfect_instance(self):
+        assert paper_cost(1.0, 0) == 0.0
+        assert paper_cost(1.0, 1) == math.inf
+
+    def test_no_underflow_at_large_k(self):
+        cost = paper_cost(0.9, 5000)
+        assert math.isfinite(cost) and cost > 0
+
+    @given(r=st.floats(0.01, 0.99), k=ks)
+    @settings(max_examples=200)
+    def test_lemma_4_1_positive(self, r, k):
+        """Lemma 4.1(1): c(f, k, u) > 0."""
+        assert paper_cost(r, k) > 0
+
+    @given(r=st.floats(0.01, 0.99), k=ks)
+    @settings(max_examples=200)
+    def test_lemma_4_1_strictly_increasing(self, r, k):
+        """Lemma 4.1(2): c(f, k+1, *) > c(f, k, *)."""
+        assert paper_cost(r, k + 1) > paper_cost(r, k)
+
+    @given(r=st.floats(0.01, 0.99), k=st.integers(1, 30))
+    @settings(max_examples=200)
+    def test_consecutive_difference_is_log_inverse(self, r, k):
+        """Eq. 16: c(f, k+1) - c(f, k) = log(1 / (1 - r))."""
+        diff = paper_cost(r, k + 1) - paper_cost(r, k)
+        assert diff == pytest.approx(math.log(1 / (1 - r)), rel=1e-9)
+
+
+class TestItemGain:
+    def test_definition(self):
+        r = 0.8
+        expected = math.log(function_reliability(r, 1)) - math.log(r)
+        assert item_gain(r, 1) == pytest.approx(expected)
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            item_gain(0.8, 0)
+
+    def test_perfect_instance_zero_gain(self):
+        assert item_gain(1.0, 1) == 0.0
+
+    @given(r=st.floats(0.01, 0.99), k=st.integers(1, 30))
+    @settings(max_examples=200)
+    def test_positive(self, r, k):
+        assume((1.0 - r) ** (k + 1) > 1e-14)
+        assert item_gain(r, k) > 0
+
+    @given(r=st.floats(0.01, 0.99), k=st.integers(1, 30))
+    @settings(max_examples=200)
+    def test_strictly_decreasing(self, r, k):
+        """Diminishing returns: g(f, k+1) < g(f, k)."""
+        assume((1.0 - r) ** (k + 2) > 1e-14)
+        assert item_gain(r, k + 1) < item_gain(r, k)
+
+    @given(r=st.floats(0.01, 0.99), k=st.integers(1, 20))
+    @settings(max_examples=200)
+    def test_cost_and_gain_orderings_agree(self, r, k):
+        """Cheapest paper-cost item <=> highest-gain item (DESIGN.md sec. 1)."""
+        assume((1.0 - r) ** (k + 2) > 1e-14)
+        cost_order = paper_cost(r, k) < paper_cost(r, k + 1)
+        gain_order = item_gain(r, k) > item_gain(r, k + 1)
+        assert cost_order and gain_order
+
+
+class TestCumulativeGain:
+    def test_zero_backups(self):
+        assert cumulative_gain(0.8, 0) == 0.0
+
+    def test_telescopes(self):
+        r = 0.7
+        total = sum(item_gain(r, j) for j in range(1, 6))
+        assert cumulative_gain(r, 5) == pytest.approx(total)
+
+    def test_closed_form(self):
+        r = 0.6
+        expected = math.log(function_reliability(r, 4)) - math.log(r)
+        assert cumulative_gain(r, 4) == pytest.approx(expected)
+
+    def test_perfect_instance(self):
+        assert cumulative_gain(1.0, 7) == 0.0
+
+
+class TestBackupsNeeded:
+    def test_already_sufficient(self):
+        assert backups_needed(0.9, 0.85) == 0
+
+    def test_exact_boundary(self):
+        assert backups_needed(0.9, 0.9) == 0
+
+    def test_one_needed(self):
+        # R(0.8, 1) = 0.96 >= 0.95 > 0.8 = R(0.8, 0)
+        assert backups_needed(0.8, 0.95) == 1
+
+    def test_many_needed(self):
+        k = backups_needed(0.5, 0.999)
+        assert function_reliability(0.5, k) >= 0.999
+        assert function_reliability(0.5, k - 1) < 0.999
+
+    def test_perfect_instance(self):
+        assert backups_needed(1.0, 0.9999) == 0
+
+    def test_unreachable_target(self):
+        with pytest.raises(ValidationError):
+            backups_needed(0.5, 1.0)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValidationError):
+            backups_needed(0.5, 0.0)
+
+    @given(r=st.floats(0.05, 0.95), target=st.floats(0.1, 0.9999))
+    @settings(max_examples=200)
+    def test_minimality(self, r, target):
+        k = backups_needed(r, target)
+        assert function_reliability(r, k) >= target - 1e-15
+        if k > 0:
+            assert function_reliability(r, k - 1) < target
+
+
+class TestChainReliability:
+    def test_primaries_only(self):
+        assert chain_reliability([0.8, 0.9]) == pytest.approx(0.72)
+
+    def test_with_backups(self):
+        expected = function_reliability(0.8, 1) * function_reliability(0.9, 2)
+        assert chain_reliability([0.8, 0.9], [1, 2]) == pytest.approx(expected)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            chain_reliability([0.8, 0.9], [1])
+
+    def test_neg_log_consistency(self):
+        rels = [0.8, 0.85, 0.9]
+        counts = [1, 0, 2]
+        u = chain_reliability(rels, counts)
+        assert neg_log_chain_reliability(rels, counts) == pytest.approx(-math.log(u))
+
+    def test_neg_log_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            neg_log_chain_reliability([0.8], [1, 2])
+
+
+class TestTotalPaperCost:
+    def test_matches_sum(self):
+        r = 0.8
+        for k in range(0, 6):
+            expected = sum(paper_cost(r, j) for j in range(0, k + 1))
+            assert total_paper_cost(r, k) == pytest.approx(expected)
+
+    def test_perfect_instance(self):
+        assert total_paper_cost(1.0, 0) == 0.0
+        assert total_paper_cost(1.0, 2) == math.inf
+
+
+class TestBigM:
+    def test_hundred_times_max(self):
+        assert big_m_cost([1.0, 3.0, 2.0]) == pytest.approx(300.0)
+
+    def test_ignores_inf(self):
+        assert big_m_cost([1.0, math.inf]) == pytest.approx(100.0)
+
+    def test_all_inf_fallback(self):
+        assert big_m_cost([math.inf]) == pytest.approx(100.0)

@@ -1,0 +1,196 @@
+"""Tests for solutions, results, and expectation trimming."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reliability import function_reliability
+from repro.core.solution import (
+    AugmentationResult,
+    AugmentationSolution,
+    Placement,
+    describe_solution,
+    trim_to_expectation,
+)
+from repro.util.errors import ValidationError
+
+
+def _placement(problem, pos, k, bin_):
+    return Placement.of(problem.item(pos, k), bin_)
+
+
+class TestAugmentationSolution:
+    def test_empty(self):
+        solution = AugmentationSolution.empty()
+        assert len(solution) == 0
+        assert solution.total_gain == 0.0
+        assert solution.backup_counts(3) == [0, 0, 0]
+
+    def test_duplicate_item_rejected(self, small_problem):
+        p = _placement(small_problem, 0, 1, 1)
+        with pytest.raises(ValidationError):
+            AugmentationSolution((p, p))
+
+    def test_from_assignments(self, small_problem):
+        solution = AugmentationSolution.from_assignments(
+            small_problem, {(0, 1): 1, (1, 1): 2}
+        )
+        assert len(solution) == 2
+        assert solution.backup_counts(3) == [1, 1, 0]
+
+    def test_from_assignments_unknown_item(self, small_problem):
+        with pytest.raises(ValidationError):
+            AugmentationSolution.from_assignments(small_problem, {(0, 999): 1})
+
+    def test_bin_loads(self, small_problem):
+        solution = AugmentationSolution.from_assignments(
+            small_problem, {(0, 1): 1, (1, 1): 1}
+        )
+        loads = solution.bin_loads()
+        assert loads[1] == pytest.approx(200.0 + 300.0)
+
+    def test_reliability(self, small_problem):
+        solution = AugmentationSolution.from_assignments(small_problem, {(0, 1): 1})
+        expected = (
+            function_reliability(0.8, 1)
+            * function_reliability(0.85, 0)
+            * function_reliability(0.9, 0)
+        )
+        assert solution.reliability(small_problem) == pytest.approx(expected)
+
+    def test_total_gain_and_cost(self, small_problem):
+        solution = AugmentationSolution.from_assignments(
+            small_problem, {(0, 1): 1, (0, 2): 2}
+        )
+        items = [small_problem.item(0, 1), small_problem.item(0, 2)]
+        assert solution.total_gain == pytest.approx(sum(it.gain for it in items))
+        assert solution.total_cost == pytest.approx(sum(it.cost for it in items))
+
+    def test_prefix_detection(self, small_problem):
+        prefix = AugmentationSolution.from_assignments(
+            small_problem, {(0, 1): 1, (0, 2): 2}
+        )
+        assert prefix.is_prefix_per_position()
+        gap = AugmentationSolution.from_assignments(small_problem, {(0, 2): 2})
+        assert not gap.is_prefix_per_position()
+
+    def test_restricted_to(self, small_problem):
+        solution = AugmentationSolution.from_assignments(
+            small_problem, {(0, 1): 1, (1, 1): 2}
+        )
+        sub = solution.restricted_to({(0, 1)})
+        assert len(sub) == 1
+        assert sub.placements[0].position == 0
+
+    def test_backup_counts_position_out_of_range(self, small_problem):
+        solution = AugmentationSolution.from_assignments(small_problem, {(2, 1): 3})
+        with pytest.raises(ValidationError):
+            solution.backup_counts(1)
+
+
+class TestAugmentationResult:
+    def _result(self, **overrides):
+        defaults = dict(
+            algorithm="X",
+            solution=AugmentationSolution.empty(),
+            reliability=0.9,
+            runtime_seconds=0.01,
+            expectation_met=False,
+        )
+        defaults.update(overrides)
+        return AugmentationResult(**defaults)
+
+    def test_summary_contains_key_fields(self):
+        result = self._result()
+        text = result.summary()
+        assert "X:" in text and "0.9" in text
+
+    def test_invalid_reliability(self):
+        with pytest.raises(ValidationError):
+            self._result(reliability=1.5)
+
+    def test_negative_runtime(self):
+        with pytest.raises(ValidationError):
+            self._result(runtime_seconds=-1.0)
+
+    def test_violations_flag(self):
+        result = self._result(violations={3: 50.0})
+        assert result.has_violations
+        assert "violated" in result.summary()
+
+    def test_num_backups(self, small_problem):
+        solution = AugmentationSolution.from_assignments(small_problem, {(0, 1): 1})
+        result = self._result(solution=solution)
+        assert result.num_backups == 1
+
+
+class TestDescribeSolution:
+    def test_mentions_every_position(self, small_problem):
+        solution = AugmentationSolution.from_assignments(
+            small_problem, {(0, 1): 1, (1, 1): 2}
+        )
+        text = describe_solution(small_problem, solution)
+        for name in ("fw", "nat", "ids"):
+            assert name in text
+        assert "backups=1" in text
+        assert "chain reliability" in text
+
+    def test_empty_solution(self, small_problem):
+        text = describe_solution(small_problem, AugmentationSolution.empty())
+        assert "backups=0" in text
+        assert "met: False" in text
+
+
+class TestTrimToExpectation:
+    def test_no_trim_when_below_expectation(self, small_problem):
+        solution = AugmentationSolution.from_assignments(small_problem, {(0, 1): 1})
+        assert not small_problem.request.meets_expectation(
+            solution.reliability(small_problem)
+        )
+        assert trim_to_expectation(small_problem, solution) is solution
+
+    def test_trim_removes_surplus(self, small_problem):
+        # Saturate every position far beyond the 0.95 expectation.
+        assignments = {}
+        for pos, items in small_problem.grouped_items().items():
+            for it in items[:4]:
+                assignments[(pos, it.k)] = it.bins[0]
+        solution = AugmentationSolution.from_assignments(small_problem, assignments)
+        assert small_problem.request.meets_expectation(
+            solution.reliability(small_problem)
+        )
+        trimmed = trim_to_expectation(small_problem, solution)
+        assert len(trimmed) < len(solution)
+        assert small_problem.request.meets_expectation(
+            trimmed.reliability(small_problem)
+        )
+
+    def test_trimmed_is_minimal(self, small_problem):
+        assignments = {}
+        for pos, items in small_problem.grouped_items().items():
+            for it in items[:4]:
+                assignments[(pos, it.k)] = it.bins[0]
+        solution = AugmentationSolution.from_assignments(small_problem, assignments)
+        trimmed = trim_to_expectation(small_problem, solution)
+        # removing any single remaining placement must drop below rho_j
+        counts = trimmed.backup_counts(3)
+        for pos in range(3):
+            if counts[pos] == 0:
+                continue
+            counts[pos] -= 1
+            rel = small_problem.reliability_from_counts(counts)
+            counts[pos] += 1
+            assert not small_problem.request.meets_expectation(rel)
+
+    def test_trim_preserves_prefix(self, small_problem):
+        assignments = {}
+        for pos, items in small_problem.grouped_items().items():
+            for it in items[:3]:
+                assignments[(pos, it.k)] = it.bins[0]
+        solution = AugmentationSolution.from_assignments(small_problem, assignments)
+        trimmed = trim_to_expectation(small_problem, solution)
+        assert trimmed.is_prefix_per_position()
+
+    def test_empty_solution_passthrough(self, small_problem):
+        empty = AugmentationSolution.empty()
+        assert trim_to_expectation(small_problem, empty) is empty

@@ -1,0 +1,123 @@
+"""Tests for the independent solution validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solution import AugmentationSolution, Placement
+from repro.core.validation import check_solution, check_violation_bound
+from repro.util.errors import ValidationError
+
+
+def _solution(problem, assignments):
+    return AugmentationSolution.from_assignments(problem, assignments)
+
+
+class TestCheckSolution:
+    def test_empty_is_valid(self, small_problem):
+        report = check_solution(small_problem, AugmentationSolution.empty())
+        assert report.ok
+
+    def test_valid_placement(self, small_problem):
+        report = check_solution(small_problem, _solution(small_problem, {(0, 1): 1}))
+        assert report.ok
+        report.raise_if_failed()  # no raise
+
+    def test_disallowed_bin_flagged(self, small_problem):
+        # position 0's primary is at node 1: N_1^+(1) = {0, 1, 2}, so bin 4 is illegal.
+        item = small_problem.item(0, 1)
+        bad = AugmentationSolution(
+            (Placement(0, 1, 4, item.demand, item.gain, item.cost),)
+        )
+        report = check_solution(small_problem, bad)
+        assert not report.ok
+        assert any("disallowed bin" in issue for issue in report.issues)
+
+    def test_non_generated_item_flagged(self, small_problem):
+        bad = AugmentationSolution((Placement(0, 999, 1, 200.0, 0.1, 1.0),))
+        report = check_solution(small_problem, bad)
+        assert any("non-generated" in issue for issue in report.issues)
+
+    def test_demand_mismatch_flagged(self, small_problem):
+        item = small_problem.item(0, 1)
+        bad = AugmentationSolution(
+            (Placement(0, 1, 1, item.demand * 2, item.gain, item.cost),)
+        )
+        report = check_solution(small_problem, bad)
+        assert any("demand mismatch" in issue for issue in report.issues)
+
+    def test_capacity_overload_flagged(self, small_problem):
+        # Cram backups of all three positions onto node 2 (capacity 1000);
+        # demands 200+300+250 fit, so add more of position 0 via several ks.
+        assignments = {}
+        for pos, items in small_problem.grouped_items().items():
+            for it in items:
+                if 2 in it.bins:
+                    assignments[(pos, it.k)] = 2
+        solution = _solution(small_problem, assignments)
+        assert solution.bin_loads()[2] > 1000.0
+        report = check_solution(small_problem, solution)
+        assert any("overloaded" in issue for issue in report.issues)
+
+    def test_overload_allowed_when_requested(self, small_problem):
+        assignments = {}
+        for pos, items in small_problem.grouped_items().items():
+            for it in items:
+                if 2 in it.bins:
+                    assignments[(pos, it.k)] = 2
+        solution = _solution(small_problem, assignments)
+        report = check_solution(small_problem, solution, allow_capacity_violation=True)
+        assert report.ok
+        assert report.capacity_excess  # recorded, not flagged
+
+    def test_prefix_required_by_default(self, small_problem):
+        gap = _solution(small_problem, {(0, 2): 1})
+        report = check_solution(small_problem, gap)
+        assert any("prefix" in issue for issue in report.issues)
+
+    def test_prefix_check_optional(self, small_problem):
+        gap = _solution(small_problem, {(0, 2): 1})
+        report = check_solution(small_problem, gap, require_prefix=False)
+        assert report.ok
+
+    def test_claimed_reliability_checked(self, small_problem):
+        solution = _solution(small_problem, {(0, 1): 1})
+        good = solution.reliability(small_problem)
+        assert check_solution(
+            small_problem, solution, claimed_reliability=good
+        ).ok
+        report = check_solution(
+            small_problem, solution, claimed_reliability=good + 0.01
+        )
+        assert any("claimed reliability" in issue for issue in report.issues)
+
+    def test_raise_if_failed(self, small_problem):
+        gap = _solution(small_problem, {(0, 2): 1})
+        report = check_solution(small_problem, gap)
+        with pytest.raises(ValidationError):
+            report.raise_if_failed()
+
+
+class TestViolationBound:
+    def test_within_bound_ok(self, small_problem):
+        solution = _solution(small_problem, {(0, 1): 1})
+        assert check_violation_bound(small_problem, solution, factor=2.0).ok
+
+    def test_exceeding_bound_flagged(self, small_problem):
+        # load node 2 beyond 2x its 1000 capacity via raw placements
+        items = [
+            it
+            for pos, group in small_problem.grouped_items().items()
+            for it in group
+            if 2 in it.bins
+        ]
+        placements = []
+        total = 0.0
+        for it in items:
+            placements.append(Placement.of(it, 2))
+            total += it.demand
+        if total <= 2000.0:
+            pytest.skip("instance too small to exceed the 2x bound")
+        solution = AugmentationSolution(tuple(placements))
+        report = check_violation_bound(small_problem, solution, factor=2.0)
+        assert not report.ok

@@ -1,0 +1,191 @@
+"""Systematic degenerate scenarios across the whole pipeline.
+
+Each case is a corner a downstream user will eventually hit: the smallest
+possible network, perfect functions, unreachable expectations, demands
+that fit nowhere, zero locality, single-function chains.  Every algorithm
+must behave sensibly (no crash, valid solution, correct early exits) on
+all of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.baselines import GreedyGain, NoAugmentation
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.algorithms.ilp_exact import ILPAlgorithm
+from repro.algorithms.randomized import RandomizedRounding
+from repro.algorithms.repair import RepairedRandomizedRounding
+from repro.core.problem import AugmentationProblem
+from repro.core.validation import check_solution
+from repro.netmodel.graph import MECNetwork
+from repro.netmodel.vnf import Request, ServiceFunctionChain, VNFType
+from repro.topology.families import line_topology, star_topology
+
+ALL_ALGORITHMS = [
+    ILPAlgorithm(),
+    RandomizedRounding(),
+    RepairedRandomizedRounding(),
+    MatchingHeuristic(),
+    GreedyGain(),
+    NoAugmentation(),
+]
+
+ALGO_IDS = [a.name for a in ALL_ALGORITHMS]
+
+
+def _solve_and_validate(problem, algorithm, rng=0):
+    result = algorithm.solve(problem, rng=rng)
+    report = check_solution(
+        problem,
+        result.solution,
+        allow_capacity_violation=algorithm.name.startswith("Randomized"),
+        claimed_reliability=result.reliability,
+    )
+    assert report.ok, (algorithm.name, report.issues)
+    return result
+
+
+class TestSingleNodeNetwork:
+    @pytest.fixture
+    def problem(self):
+        graph = line_topology(1)
+        network = MECNetwork(graph, {0: 1000.0})
+        func = VNFType("f", demand=200.0, reliability=0.8)
+        request = Request("one", ServiceFunctionChain([func]), expectation=0.99)
+        return AugmentationProblem.build(
+            network, request, [0], radius=0, residuals={0: 1000.0}
+        )
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS, ids=ALGO_IDS)
+    def test_solves(self, problem, algorithm):
+        result = _solve_and_validate(problem, algorithm)
+        assert result.reliability >= problem.baseline_reliability - 1e-12
+
+
+class TestPerfectFunctions:
+    """r = 1 everywhere: no items exist, every algorithm early-exits."""
+
+    @pytest.fixture
+    def problem(self, line_network):
+        func = VNFType("perfect", demand=100.0, reliability=1.0)
+        request = Request("p", ServiceFunctionChain([func] * 3), expectation=0.999)
+        return AugmentationProblem.build(line_network, request, [0, 1, 2])
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS, ids=ALGO_IDS)
+    def test_early_exit(self, problem, algorithm):
+        result = _solve_and_validate(problem, algorithm)
+        assert result.reliability == 1.0
+        assert result.num_backups == 0
+        if algorithm.name != "NoBackup":
+            assert result.expectation_met
+
+
+class TestUnreachableExpectation:
+    """rho so high no amount of capacity reaches it: maximize best-effort."""
+
+    @pytest.fixture
+    def problem(self):
+        network = MECNetwork(line_topology(2), {0: 500.0, 1: 500.0})
+        func = VNFType("f", demand=400.0, reliability=0.5)
+        request = Request(
+            "hard", ServiceFunctionChain([func]), expectation=1.0 - 1e-12
+        )
+        return AugmentationProblem.build(
+            network, request, [0], residuals={0: 500.0, 1: 500.0}
+        )
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [ILPAlgorithm(), MatchingHeuristic(), GreedyGain()],
+        ids=["ILP", "Heuristic", "Greedy"],
+    )
+    def test_best_effort(self, problem, algorithm):
+        result = _solve_and_validate(problem, algorithm)
+        assert not result.expectation_met
+        # one 400-demand backup fits in each 500-capacity bin minus nothing:
+        # primary took nothing (explicit residuals), so 1 backup per bin
+        assert result.num_backups == 2
+        assert result.reliability == pytest.approx(1 - 0.5**3)
+
+
+class TestNothingFits:
+    """Every demand exceeds every residual: graceful empty solutions."""
+
+    @pytest.fixture
+    def problem(self, line_network):
+        func = VNFType("huge", demand=5000.0, reliability=0.8)
+        request = Request("big", ServiceFunctionChain([func]), expectation=0.99)
+        return AugmentationProblem.build(
+            line_network, request, [2], residuals={v: 1000.0 for v in range(5)}
+        )
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS, ids=ALGO_IDS)
+    def test_empty_solution(self, problem, algorithm):
+        result = _solve_and_validate(problem, algorithm)
+        assert result.num_backups == 0
+        assert result.reliability == pytest.approx(0.8)
+
+
+class TestRadiusZero:
+    """l = 0: backups only on the primary's own cloudlet."""
+
+    @pytest.fixture
+    def problem(self):
+        network = MECNetwork(star_topology(4), {0: 500.0, 1: 5000.0})
+        func = VNFType("f", demand=200.0, reliability=0.7)
+        request = Request("r0", ServiceFunctionChain([func]), expectation=0.9999)
+        return AugmentationProblem.build(
+            network, request, [0], radius=0, residuals={0: 500.0, 1: 5000.0}
+        )
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [ILPAlgorithm(), MatchingHeuristic(), GreedyGain()],
+        ids=["ILP", "Heuristic", "Greedy"],
+    )
+    def test_confined_to_own_cloudlet(self, problem, algorithm):
+        result = _solve_and_validate(problem, algorithm)
+        assert result.num_backups == 2  # floor(500/200), node 1 out of reach
+        assert all(p.bin == 0 for p in result.solution.placements)
+
+
+class TestTrivialExpectation:
+    """rho below the baseline: everyone exits immediately."""
+
+    @pytest.fixture
+    def problem(self, line_network):
+        func = VNFType("f", demand=100.0, reliability=0.9)
+        request = Request("easy", ServiceFunctionChain([func]), expectation=0.5)
+        return AugmentationProblem.build(line_network, request, [2])
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS, ids=ALGO_IDS)
+    def test_no_work(self, problem, algorithm):
+        result = _solve_and_validate(problem, algorithm)
+        assert result.num_backups == 0
+        assert result.runtime_seconds < 1.0
+
+
+class TestMixedPerfectAndImperfect:
+    """Perfect functions generate no items; imperfect neighbors still do."""
+
+    @pytest.fixture
+    def problem(self, line_network):
+        perfect = VNFType("perfect", demand=100.0, reliability=1.0)
+        shaky = VNFType("shaky", demand=100.0, reliability=0.6)
+        request = Request(
+            "mixed", ServiceFunctionChain([perfect, shaky]), expectation=0.99
+        )
+        return AugmentationProblem.build(line_network, request, [1, 3])
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [ILPAlgorithm(), MatchingHeuristic(), GreedyGain()],
+        ids=["ILP", "Heuristic", "Greedy"],
+    )
+    def test_only_shaky_position_augmented(self, problem, algorithm):
+        result = _solve_and_validate(problem, algorithm)
+        counts = result.solution.backup_counts(2)
+        assert counts[0] == 0
+        assert counts[1] >= 1
+        assert result.expectation_met

@@ -1,0 +1,93 @@
+"""Smoke tests: every example script runs to completion and prints sense.
+
+Each example is executed in a subprocess (its own interpreter, like a user
+would run it) with a small trial budget where the script honours
+``REPRO_TRIALS``.  These tests pin the public API the examples exercise:
+a breaking change that slips past the unit suite still fails here.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+#: (script, extra argv, expected stdout fragments)
+EXAMPLES = [
+    ("quickstart.py", ["7"], ["network:", "ILP:", "Heuristic:", "[valid]"]),
+    (
+        "campus_edge_deployment.py",
+        [],
+        ["campus:", "admission placed primaries", "exact ILP"],
+    ),
+    (
+        "capacity_stress_study.py",
+        [],
+        ["99% SLO feasibility", "residual"],
+    ),
+    (
+        "locality_tradeoff.py",
+        ["3"],
+        ["Locality radius", "unrestricted"],
+    ),
+    (
+        "multi_tenant_stream.py",
+        ["2"],
+        ["augmenter: Heuristic", "acceptance", "Clairvoyant check"],
+    ),
+    (
+        "theory_vs_practice.py",
+        ["5"],
+        ["Theorem 5.2", "Monte-Carlo cross-check"],
+    ),
+    (
+        "failover_dynamics.py",
+        ["4"],
+        ["Static reliability vs simulated availability", "unrestricted"],
+    ),
+]
+
+
+def test_visualize_placement_writes_dot(tmp_path):
+    """The DOT export example writes parseable Graphviz files."""
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(EXAMPLES_DIR / "visualize_placement.py"),
+            str(tmp_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    network = (tmp_path / "network.dot").read_text()
+    placement = (tmp_path / "placement.dot").read_text()
+    for dot in (network, placement):
+        assert dot.startswith("graph ")
+        assert dot.count("{") == dot.count("}")
+    assert "primary:" in placement
+
+
+@pytest.mark.parametrize(
+    "script,args,fragments", EXAMPLES, ids=[e[0] for e in EXAMPLES]
+)
+def test_example_runs(script, args, fragments):
+    env = dict(os.environ, REPRO_TRIALS="3")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=420,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for fragment in fragments:
+        assert fragment in result.stdout, (
+            f"{script}: expected {fragment!r} in output:\n{result.stdout[-2000:]}"
+        )

@@ -1,0 +1,87 @@
+"""Tests for the ablation sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.baselines import GreedyGain
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.experiments.ablations import (
+    run_expectation_ablation,
+    run_radius_ablation,
+    run_truncation_ablation,
+)
+from repro.experiments.settings import ExperimentSettings
+
+
+@pytest.fixture
+def fast_settings() -> ExperimentSettings:
+    return ExperimentSettings(num_aps=25, cloudlet_fraction=0.2, trials=2)
+
+
+@pytest.fixture
+def fast_algorithms():
+    return [MatchingHeuristic(), GreedyGain()]
+
+
+class TestRadiusAblation:
+    def test_structure(self, fast_settings, fast_algorithms):
+        series = run_radius_ablation(
+            fast_settings, radii=[0, 1], algorithms=fast_algorithms, trials=2, rng=3
+        )
+        assert series.figure == "abl-radius"
+        assert series.x_values == [0, 1]
+        assert len(series.points) == 2
+
+    def test_wider_radius_no_worse(self, fast_settings):
+        series = run_radius_ablation(
+            fast_settings,
+            radii=[0, 24],
+            algorithms=[MatchingHeuristic()],
+            trials=4,
+            rng=5,
+        )
+        rels = series.reliability_series("Heuristic")
+        assert rels[1] >= rels[0] - 0.02  # monotone up to sampling noise
+
+
+class TestTruncationAblation:
+    def test_identical_reliability(self, fast_settings, fast_algorithms):
+        """Truncation must be observation-free: same workloads, same results.
+
+        Run at full residual capacity so every expectation is reachable --
+        the regime the budget-headroom truncation is proven sound for.
+        """
+        series = run_truncation_ablation(
+            fast_settings.vary(residual_fraction=1.0),
+            algorithms=fast_algorithms,
+            trials=3,
+            rng=7,
+        )
+        assert series.x_values == ["default", "exact-K_i"]
+        for algorithm in series.algorithms():
+            default_rel, exact_rel = series.reliability_series(algorithm)
+            assert default_rel == pytest.approx(exact_rel, abs=1e-9)
+
+
+class TestExpectationAblation:
+    def test_structure(self, fast_settings, fast_algorithms):
+        series = run_expectation_ablation(
+            fast_settings,
+            expectations=[0.9, 0.99],
+            algorithms=fast_algorithms,
+            trials=2,
+            rng=9,
+        )
+        assert series.x_values == [0.9, 0.99]
+
+    def test_higher_expectation_more_backups(self, fast_settings):
+        series = run_expectation_ablation(
+            fast_settings,
+            expectations=[0.9, 0.999],
+            algorithms=[MatchingHeuristic()],
+            trials=4,
+            rng=11,
+        )
+        backups = [point["Heuristic"].mean_backups for point in series.points]
+        assert backups[1] >= backups[0]

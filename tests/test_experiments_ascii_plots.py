@@ -1,0 +1,98 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.baselines import NoAugmentation
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.experiments.ascii_plots import (
+    render_ascii_chart,
+    render_reliability_chart,
+    render_runtime_chart,
+)
+from repro.experiments.figures import run_figure3
+from repro.experiments.settings import ExperimentSettings
+from repro.util.errors import ValidationError
+
+
+class TestRenderAsciiChart:
+    def test_basic_shape(self):
+        out = render_ascii_chart(
+            {"A": [1.0, 2.0, 3.0]}, [10, 20, 30], height=5, width=20
+        )
+        lines = out.splitlines()
+        # 5 plot rows + axis + xlabels + legend
+        assert len(lines) == 8
+        assert lines[-1].strip().startswith("A=A") or "=A" in lines[-1]
+
+    def test_title(self):
+        out = render_ascii_chart({"A": [1.0]}, ["x"], title="My Chart")
+        assert out.splitlines()[0] == "My Chart"
+
+    def test_extremes_on_first_last_rows(self):
+        out = render_ascii_chart({"A": [0.0, 1.0]}, [0, 1], height=4, width=10)
+        lines = out.splitlines()
+        assert "A" in lines[0]  # max on the top row
+        assert "A" in lines[3]  # min on the bottom row
+
+    def test_y_axis_labels(self):
+        out = render_ascii_chart({"A": [0.25, 0.75]}, [0, 1], height=4)
+        assert "0.75" in out and "0.25" in out
+
+    def test_flat_series(self):
+        out = render_ascii_chart({"A": [1.0, 1.0, 1.0]}, [1, 2, 3])
+        assert "A" in out  # no crash, marks present
+
+    def test_overlap_marker(self):
+        out = render_ascii_chart(
+            {"A": [1.0, 2.0], "B": [1.0, 0.0]}, [0, 1], height=5, width=11
+        )
+        assert "+" in out  # both series at the same cell on the left edge
+
+    def test_known_algorithm_glyphs(self):
+        out = render_ascii_chart(
+            {"ILP": [1.0], "Randomized": [0.5], "Heuristic": [0.0]}, ["x"]
+        )
+        legend = out.splitlines()[-1]
+        assert "I=ILP" in legend and "*=Randomized" in legend and "H=Heuristic" in legend
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            render_ascii_chart({"A": [1.0, 2.0]}, [0])
+
+    def test_empty_inputs(self):
+        with pytest.raises(ValidationError):
+            render_ascii_chart({}, [0])
+        with pytest.raises(ValidationError):
+            render_ascii_chart({"A": []}, [])
+
+    def test_too_small_area(self):
+        with pytest.raises(ValidationError):
+            render_ascii_chart({"A": [1.0]}, ["x"], height=1)
+
+    def test_x_labels_shown(self):
+        out = render_ascii_chart({"A": [1.0, 2.0, 3.0]}, ["lo", "mid", "hi"])
+        assert "lo" in out and "hi" in out
+
+
+class TestFigureCharts:
+    @pytest.fixture(scope="class")
+    def series(self):
+        settings = ExperimentSettings(num_aps=20, cloudlet_fraction=0.25, trials=2)
+        return run_figure3(
+            settings,
+            fractions=[0.25, 1.0],
+            algorithms=[MatchingHeuristic(), NoAugmentation()],
+            trials=2,
+            rng=4,
+        )
+
+    def test_reliability_chart(self, series):
+        out = render_reliability_chart(series)
+        assert "fig3(a)" in out
+        assert "H=Heuristic" in out
+
+    def test_runtime_chart(self, series):
+        out = render_runtime_chart(series)
+        assert "fig3(c)" in out and "(ms)" in out

@@ -1,0 +1,101 @@
+"""Tests for the system-level request-stream extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.baselines import GreedyGain
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.experiments.batch import BatchReport, BatchRequestOutcome, run_request_stream
+from repro.experiments.settings import ExperimentSettings
+
+
+@pytest.fixture
+def stream_settings() -> ExperimentSettings:
+    return ExperimentSettings(num_aps=30, cloudlet_fraction=0.2, trials=1)
+
+
+class TestBatchReport:
+    def _outcome(self, admitted=True, met=True, reliability=0.95):
+        return BatchRequestOutcome(
+            name="r",
+            admitted=admitted,
+            reliability=reliability,
+            expectation=0.95,
+            expectation_met=met,
+            backups=2,
+        )
+
+    def test_rates(self):
+        report = BatchReport(
+            outcomes=[
+                self._outcome(admitted=True, met=True),
+                self._outcome(admitted=True, met=False, reliability=0.8),
+                self._outcome(admitted=False, met=False, reliability=0.0),
+            ]
+        )
+        assert report.num_requests == 3
+        assert report.acceptance_rate == pytest.approx(2 / 3)
+        assert report.expectation_met_rate == pytest.approx(0.5)
+        assert report.mean_reliability == pytest.approx((0.95 + 0.8) / 2)
+
+    def test_empty(self):
+        report = BatchReport()
+        assert report.acceptance_rate == 0.0
+        assert report.expectation_met_rate == 0.0
+        assert report.mean_reliability == 0.0
+
+
+class TestRunRequestStream:
+    def test_basic_stream(self, stream_settings):
+        report = run_request_stream(
+            stream_settings, MatchingHeuristic(), num_requests=10, rng=1
+        )
+        assert report.num_requests == 10
+        assert 0.0 <= report.acceptance_rate <= 1.0
+        assert 0.0 <= report.final_utilisation <= 1.0 + 1e-9
+
+    def test_deterministic(self, stream_settings):
+        a = run_request_stream(stream_settings, MatchingHeuristic(), 8, rng=5)
+        b = run_request_stream(stream_settings, MatchingHeuristic(), 8, rng=5)
+        assert [o.reliability for o in a.outcomes] == [
+            o.reliability for o in b.outcomes
+        ]
+
+    def test_capacity_never_violated(self, stream_settings):
+        """The committed ledger must stay feasible through the whole stream
+        (this is why violating algorithms are excluded)."""
+        report = run_request_stream(
+            stream_settings, GreedyGain(), num_requests=30, rng=2
+        )
+        assert report.final_utilisation <= 1.0 + 1e-9
+
+    def test_saturation_rejects_late_requests(self, stream_settings):
+        """Push far more demand than the network holds: acceptance < 1."""
+        report = run_request_stream(
+            stream_settings, MatchingHeuristic(), num_requests=80, rng=3
+        )
+        assert report.acceptance_rate < 1.0
+        assert report.final_utilisation > 0.7
+
+    def test_early_requests_fare_better(self, stream_settings):
+        """Admitted-and-met rate among the first half dominates the second."""
+        report = run_request_stream(
+            stream_settings, MatchingHeuristic(), num_requests=60, rng=4
+        )
+        half = len(report.outcomes) // 2
+        first = [o for o in report.outcomes[:half]]
+        second = [o for o in report.outcomes[half:]]
+        first_ok = sum(o.admitted and o.expectation_met for o in first) / len(first)
+        second_ok = sum(o.admitted and o.expectation_met for o in second) / len(second)
+        assert first_ok >= second_ok
+
+    def test_network_reuse(self, stream_settings):
+        from repro.experiments.workload import make_network
+        from repro.util.rng import as_rng
+
+        network = make_network(stream_settings, as_rng(9))
+        report = run_request_stream(
+            stream_settings, MatchingHeuristic(), 5, rng=9, network=network
+        )
+        assert report.num_requests == 5

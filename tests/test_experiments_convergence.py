@@ -1,0 +1,91 @@
+"""Tests for trial-count convergence analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.baselines import NoAugmentation
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.experiments.convergence import (
+    ConvergencePoint,
+    convergence_table,
+    trials_for_half_width,
+)
+from repro.experiments.settings import ExperimentSettings
+from repro.util.errors import ValidationError
+
+SETTINGS = ExperimentSettings(num_aps=25, cloudlet_fraction=0.2, trials=1)
+
+
+class TestConvergenceTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return convergence_table(
+            SETTINGS, MatchingHeuristic(), checkpoints=[3, 6, 12], rng=7
+        )
+
+    def test_checkpoint_counts(self, table):
+        assert [p.trials for p in table] == [3, 6, 12]
+
+    def test_means_in_range(self, table):
+        for point in table:
+            assert 0.0 <= point.mean_reliability <= 1.0
+
+    def test_std_error_shrinks_broadly(self, table):
+        # 1/sqrt(n) scaling with shared prefixes: the last checkpoint's SE
+        # should be below the first's (generous slack for variance noise)
+        assert table[-1].std_error <= table[0].std_error * 1.5
+
+    def test_half_width(self, table):
+        for point in table:
+            assert point.half_width_95 == pytest.approx(1.96 * point.std_error)
+
+    def test_prefix_consistency(self):
+        """Checkpoint n summarises the same first n trials regardless of
+        which later checkpoints were requested."""
+        short = convergence_table(
+            SETTINGS, MatchingHeuristic(), checkpoints=[4], rng=3
+        )
+        long = convergence_table(
+            SETTINGS, MatchingHeuristic(), checkpoints=[4, 8], rng=3
+        )
+        assert short[0].mean_reliability == pytest.approx(
+            long[0].mean_reliability
+        )
+
+    def test_deterministic(self):
+        a = convergence_table(SETTINGS, NoAugmentation(), checkpoints=[5], rng=9)
+        b = convergence_table(SETTINGS, NoAugmentation(), checkpoints=[5], rng=9)
+        assert a[0].mean_reliability == b[0].mean_reliability
+
+    def test_invalid_checkpoints(self):
+        with pytest.raises(ValidationError):
+            convergence_table(SETTINGS, NoAugmentation(), checkpoints=[])
+        with pytest.raises(ValidationError):
+            convergence_table(SETTINGS, NoAugmentation(), checkpoints=[5, 5])
+        with pytest.raises(ValidationError):
+            convergence_table(SETTINGS, NoAugmentation(), checkpoints=[0, 3])
+
+    def test_single_trial_std_error_is_inf(self):
+        table = convergence_table(SETTINGS, NoAugmentation(), checkpoints=[1], rng=2)
+        assert table[0].std_error == float("inf")
+
+
+class TestTrialsForHalfWidth:
+    def _points(self):
+        return [
+            ConvergencePoint(5, 0.9, 0.05),
+            ConvergencePoint(20, 0.9, 0.02),
+            ConvergencePoint(100, 0.9, 0.005),
+        ]
+
+    def test_finds_smallest_sufficient(self):
+        assert trials_for_half_width(self._points(), 0.05) == 20  # 1.96*0.02=0.039
+        assert trials_for_half_width(self._points(), 0.2) == 5
+
+    def test_none_when_unreached(self):
+        assert trials_for_half_width(self._points(), 0.001) is None
+
+    def test_invalid_target(self):
+        with pytest.raises(ValidationError):
+            trials_for_half_width(self._points(), 0.0)

@@ -1,0 +1,139 @@
+"""Tests for the figure sweeps and their rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.baselines import GreedyGain, NoAugmentation
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.experiments.figures import (
+    FIG2_RELIABILITY_INTERVALS,
+    FIG3_RESIDUAL_FRACTIONS,
+    default_algorithms,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+)
+from repro.experiments.reporting import (
+    render_figure,
+    render_reliability_panel,
+    render_runtime_panel,
+    render_usage_panel,
+)
+from repro.experiments.settings import ExperimentSettings
+
+
+@pytest.fixture
+def fast_settings() -> ExperimentSettings:
+    return ExperimentSettings(num_aps=25, cloudlet_fraction=0.2, trials=2)
+
+
+@pytest.fixture
+def fast_algorithms():
+    return [MatchingHeuristic(), GreedyGain()]
+
+
+class TestSweepDefinitions:
+    def test_fig2_intervals_match_paper(self):
+        assert FIG2_RELIABILITY_INTERVALS == (
+            (0.55, 0.65),
+            (0.65, 0.75),
+            (0.75, 0.85),
+            (0.85, 0.95),
+        )
+
+    def test_fig3_fractions_match_paper(self):
+        assert FIG3_RESIDUAL_FRACTIONS == (1 / 16, 1 / 8, 1 / 4, 1 / 2, 1.0)
+
+    def test_default_algorithms_trio(self):
+        names = [a.name for a in default_algorithms()]
+        assert names == ["ILP", "Randomized", "Heuristic"]
+
+
+class TestRunFigures:
+    def test_figure1_structure(self, fast_settings, fast_algorithms):
+        series = run_figure1(
+            fast_settings,
+            sfc_lengths=[2, 4],
+            algorithms=fast_algorithms,
+            trials=2,
+            rng=1,
+        )
+        assert series.figure == "fig1"
+        assert series.x_values == [2, 4]
+        assert len(series.points) == 2
+        assert set(series.algorithms()) == {"Heuristic", "Greedy[max_residual]"}
+
+    def test_figure2_structure(self, fast_settings, fast_algorithms):
+        series = run_figure2(
+            fast_settings,
+            intervals=[(0.6, 0.7), (0.8, 0.9)],
+            algorithms=fast_algorithms,
+            trials=2,
+            rng=1,
+        )
+        assert series.x_values == ["[0.60,0.70)", "[0.80,0.90)"]
+
+    def test_figure3_structure(self, fast_settings, fast_algorithms):
+        series = run_figure3(
+            fast_settings,
+            fractions=[0.25, 1.0],
+            algorithms=fast_algorithms,
+            trials=2,
+            rng=1,
+        )
+        assert series.x_values == [0.25, 1.0]
+
+    def test_series_accessors(self, fast_settings, fast_algorithms):
+        series = run_figure3(
+            fast_settings, fractions=[0.5], algorithms=fast_algorithms, trials=2, rng=1
+        )
+        rels = series.reliability_series("Heuristic")
+        times = series.runtime_series("Heuristic")
+        usage = series.usage_series("Heuristic")
+        assert len(rels) == len(times) == len(usage) == 1
+        assert 0.0 <= rels[0] <= 1.0
+        assert times[0] >= 0.0
+
+    def test_reproducible(self, fast_settings, fast_algorithms):
+        a = run_figure1(
+            fast_settings, sfc_lengths=[3], algorithms=fast_algorithms, trials=2, rng=5
+        )
+        b = run_figure1(
+            fast_settings, sfc_lengths=[3], algorithms=fast_algorithms, trials=2, rng=5
+        )
+        assert a.reliability_series("Heuristic") == b.reliability_series("Heuristic")
+
+
+class TestRendering:
+    @pytest.fixture
+    def series(self, fast_settings, fast_algorithms):
+        return run_figure3(
+            fast_settings,
+            fractions=[0.5, 1.0],
+            algorithms=fast_algorithms,
+            trials=2,
+            rng=2,
+        )
+
+    def test_reliability_panel(self, series):
+        out = render_reliability_panel(series)
+        assert "fig3(a)" in out
+        assert "Heuristic" in out
+        assert "0.5" in out
+
+    def test_usage_panel(self, series):
+        out = render_usage_panel(series, algorithm="Heuristic")
+        assert "usage_avg" in out
+
+    def test_runtime_panel(self, series):
+        out = render_runtime_panel(series)
+        assert "(ms)" in out
+
+    def test_render_figure_combines(self, series):
+        out = render_figure(series, usage_algorithm="Heuristic")
+        assert "fig3(a)" in out and "fig3(b)" in out and "fig3(c)" in out
+
+    def test_render_figure_skips_missing_usage_algorithm(self, series):
+        out = render_figure(series, usage_algorithm="Randomized")
+        assert "fig3(b)" not in out

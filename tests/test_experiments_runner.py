@@ -1,0 +1,108 @@
+"""Tests for trial execution and aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.baselines import GreedyGain, NoAugmentation
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.core.solution import AugmentationResult, AugmentationSolution
+from repro.experiments.runner import AggregateStats, run_point, run_trial
+from repro.util.errors import ValidationError
+
+
+def _result(reliability=0.9, runtime=0.01, usage=(0.3, 0.0, 0.8), met=True, viol=None):
+    mean, lo, hi = usage
+    return AugmentationResult(
+        algorithm="X",
+        solution=AugmentationSolution.empty(),
+        reliability=reliability,
+        runtime_seconds=runtime,
+        expectation_met=met,
+        usage_mean=mean,
+        usage_min=lo,
+        usage_max=hi,
+        violations=viol or {},
+    )
+
+
+class TestAggregateStats:
+    def test_means(self):
+        stats = AggregateStats("X")
+        stats.add(_result(reliability=0.8, runtime=0.02))
+        stats.add(_result(reliability=0.6, runtime=0.04))
+        assert stats.reliability == pytest.approx(0.7)
+        assert stats.runtime == pytest.approx(0.03)
+        assert stats.trials == 2
+
+    def test_usage_means(self):
+        stats = AggregateStats("X")
+        stats.add(_result(usage=(0.2, 0.0, 0.4)))
+        stats.add(_result(usage=(0.4, 0.2, 0.8)))
+        assert stats.usage == (
+            pytest.approx(0.3),
+            pytest.approx(0.1),
+            pytest.approx(0.6),
+        )
+        assert stats.peak_usage == pytest.approx(0.8)
+
+    def test_rates(self):
+        stats = AggregateStats("X")
+        stats.add(_result(met=True))
+        stats.add(_result(met=False, viol={1: 5.0}))
+        assert stats.expectation_met_rate == pytest.approx(0.5)
+        assert stats.violation_trials == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            AggregateStats("X").reliability
+
+
+class TestRunTrial:
+    def test_all_algorithms_present(self, tiny_settings):
+        algorithms = [MatchingHeuristic(), GreedyGain(), NoAugmentation()]
+        outcome = run_trial(tiny_settings, algorithms, rng=4)
+        assert set(outcome.results) == {a.name for a in algorithms}
+
+    def test_shared_instance_consistency(self, tiny_settings):
+        """Every algorithm must start from the same baseline."""
+        algorithms = [MatchingHeuristic(), NoAugmentation()]
+        outcome = run_trial(tiny_settings, algorithms, rng=4)
+        assert (
+            outcome.results["NoBackup"].reliability
+            == pytest.approx(outcome.baseline_reliability)
+        )
+        assert outcome.results["Heuristic"].reliability >= outcome.baseline_reliability
+
+    def test_deterministic(self, tiny_settings):
+        a = run_trial(tiny_settings, [MatchingHeuristic()], rng=6)
+        b = run_trial(tiny_settings, [MatchingHeuristic()], rng=6)
+        assert (
+            a.results["Heuristic"].reliability == b.results["Heuristic"].reliability
+        )
+
+    def test_validation_enabled(self, tiny_settings):
+        # smoke: a valid algorithm passes the in-loop validator
+        run_trial(tiny_settings, [MatchingHeuristic()], rng=1, validate=True)
+
+
+class TestRunPoint:
+    def test_aggregates_trials(self, tiny_settings):
+        stats = run_point(tiny_settings, [MatchingHeuristic()], trials=3, rng=2)
+        assert stats["Heuristic"].trials == 3
+        assert 0.0 <= stats["Heuristic"].reliability <= 1.0
+
+    def test_trials_default_from_settings(self, tiny_settings, monkeypatch):
+        monkeypatch.delenv("REPRO_TRIALS", raising=False)
+        stats = run_point(tiny_settings, [NoAugmentation()], rng=2)
+        assert stats["NoBackup"].trials == tiny_settings.trials
+
+    def test_env_var_override(self, tiny_settings, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "2")
+        stats = run_point(tiny_settings, [NoAugmentation()], rng=2)
+        assert stats["NoBackup"].trials == 2
+
+    def test_reproducible(self, tiny_settings):
+        a = run_point(tiny_settings, [MatchingHeuristic()], trials=3, rng=9)
+        b = run_point(tiny_settings, [MatchingHeuristic()], trials=3, rng=9)
+        assert a["Heuristic"].reliability == b["Heuristic"].reliability

@@ -1,0 +1,74 @@
+"""Tests for CSV/JSON series persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.algorithms.baselines import NoAugmentation
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.experiments.figures import run_figure3
+from repro.experiments.serialization import (
+    CSV_COLUMNS,
+    read_series_csv,
+    series_records,
+    write_series_csv,
+    write_series_json,
+)
+from repro.experiments.settings import ExperimentSettings
+
+
+@pytest.fixture(scope="module")
+def series():
+    settings = ExperimentSettings(num_aps=20, cloudlet_fraction=0.25, trials=2)
+    return run_figure3(
+        settings,
+        fractions=[0.5, 1.0],
+        algorithms=[MatchingHeuristic(), NoAugmentation()],
+        trials=2,
+        rng=6,
+    )
+
+
+class TestRecords:
+    def test_one_record_per_cell(self, series):
+        records = series_records(series)
+        assert len(records) == 2 * 2  # 2 sweep values x 2 algorithms
+
+    def test_record_fields(self, series):
+        record = series_records(series)[0]
+        assert set(record) == set(CSV_COLUMNS)
+        assert record["figure"] == "fig3"
+        assert 0.0 <= record["reliability"] <= 1.0
+
+
+class TestCsvRoundTrip:
+    def test_write_and_read(self, series, tmp_path):
+        path = write_series_csv(series, tmp_path / "fig3.csv")
+        rows = read_series_csv(path)
+        assert len(rows) == 4
+        assert set(rows[0]) == set(CSV_COLUMNS)
+
+    def test_values_survive(self, series, tmp_path):
+        path = write_series_csv(series, tmp_path / "fig3.csv")
+        rows = read_series_csv(path)
+        originals = series_records(series)
+        for row, original in zip(rows, originals):
+            assert float(row["reliability"]) == pytest.approx(original["reliability"])
+            assert row["algorithm"] == original["algorithm"]
+
+
+class TestJson:
+    def test_structure(self, series, tmp_path):
+        path = write_series_json(series, tmp_path / "fig3.json", metadata={"seed": 6})
+        document = json.loads(path.read_text())
+        assert document["figure"] == "fig3"
+        assert document["metadata"] == {"seed": 6}
+        assert len(document["points"]) == 2
+        first = document["points"][0]
+        assert set(first["algorithms"]) == {"Heuristic", "NoBackup"}
+
+    def test_metadata_optional(self, series, tmp_path):
+        path = write_series_json(series, tmp_path / "fig3.json")
+        assert json.loads(path.read_text())["metadata"] == {}

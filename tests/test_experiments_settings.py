@@ -1,0 +1,100 @@
+"""Tests for experiment settings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.settings import (
+    DEFAULT_SETTINGS,
+    TRIALS_ENV_VAR,
+    ExperimentSettings,
+)
+from repro.util.errors import ValidationError
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        s = DEFAULT_SETTINGS
+        assert s.num_aps == 100
+        assert s.cloudlet_fraction == 0.10
+        assert s.capacity_range == (4000.0, 8000.0)
+        assert s.num_vnf_types == 30
+        assert s.demand_range == (200.0, 400.0)
+        assert s.reliability_range == (0.8, 0.9)
+        assert s.sfc_length_range == (3, 10)
+        assert s.radius == 1
+        assert s.residual_fraction == 0.25
+        assert s.trials == 1000
+
+
+class TestValidation:
+    def test_invalid_num_aps(self):
+        with pytest.raises(ValidationError):
+            ExperimentSettings(num_aps=0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValidationError):
+            ExperimentSettings(cloudlet_fraction=0.0)
+
+    def test_invalid_sfc_range(self):
+        with pytest.raises(ValidationError):
+            ExperimentSettings(sfc_length_range=(5, 3))
+        with pytest.raises(ValidationError):
+            ExperimentSettings(sfc_length_range=(0, 3))
+
+    def test_invalid_fixed_length(self):
+        with pytest.raises(ValidationError):
+            ExperimentSettings(sfc_length=0)
+
+    def test_invalid_expectation_range(self):
+        with pytest.raises(ValidationError):
+            ExperimentSettings(expectation_range=(0.99, 0.95))
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValidationError):
+            ExperimentSettings(radius=-1)
+
+    def test_invalid_residual(self):
+        with pytest.raises(ValidationError):
+            ExperimentSettings(residual_fraction=0.0)
+        with pytest.raises(ValidationError):
+            ExperimentSettings(residual_fraction=1.5)
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValidationError):
+            ExperimentSettings(trials=0)
+
+
+class TestVary:
+    def test_single_field(self):
+        varied = DEFAULT_SETTINGS.vary(residual_fraction=0.5)
+        assert varied.residual_fraction == 0.5
+        assert varied.num_aps == DEFAULT_SETTINGS.num_aps
+
+    def test_original_untouched(self):
+        DEFAULT_SETTINGS.vary(sfc_length=7)
+        assert DEFAULT_SETTINGS.sfc_length is None
+
+    def test_vary_revalidates(self):
+        with pytest.raises(ValidationError):
+            DEFAULT_SETTINGS.vary(trials=-1)
+
+
+class TestTrialsEnvVar:
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv(TRIALS_ENV_VAR, raising=False)
+        assert DEFAULT_SETTINGS.effective_trials == 1000
+
+    def test_override(self, monkeypatch):
+        monkeypatch.setenv(TRIALS_ENV_VAR, "25")
+        assert DEFAULT_SETTINGS.effective_trials == 25
+
+    def test_invalid_override(self, monkeypatch):
+        monkeypatch.setenv(TRIALS_ENV_VAR, "abc")
+        with pytest.raises(ValidationError):
+            DEFAULT_SETTINGS.effective_trials
+
+    def test_nonpositive_override(self, monkeypatch):
+        monkeypatch.setenv(TRIALS_ENV_VAR, "0")
+        with pytest.raises(ValidationError):
+            DEFAULT_SETTINGS.effective_trials

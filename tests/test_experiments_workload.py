@@ -1,0 +1,87 @@
+"""Tests for per-trial workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.workload import make_network, make_request, make_trial
+from repro.netmodel.vnf import VNFCatalog
+from repro.util.rng import as_rng
+
+
+@pytest.fixture
+def settings() -> ExperimentSettings:
+    return ExperimentSettings(num_aps=30, cloudlet_fraction=0.2, trials=2)
+
+
+class TestMakeNetwork:
+    def test_sizes(self, settings):
+        network = make_network(settings, as_rng(1))
+        assert network.num_nodes == 30
+        assert network.num_cloudlets == 6
+
+    def test_capacities_in_range(self, settings):
+        network = make_network(settings, as_rng(1))
+        for v in network.cloudlets:
+            assert 4000.0 <= network.capacity(v) <= 8000.0
+
+
+class TestMakeRequest:
+    def test_length_from_range(self, settings):
+        catalog = VNFCatalog.random(rng=1)
+        lengths = {
+            make_request(settings, catalog, as_rng(seed)).chain.length
+            for seed in range(30)
+        }
+        lo, hi = settings.sfc_length_range
+        assert lengths <= set(range(lo, hi + 1))
+        assert len(lengths) > 1  # actually varies
+
+    def test_fixed_length(self, settings):
+        catalog = VNFCatalog.random(rng=1)
+        fixed = settings.vary(sfc_length=7)
+        for seed in range(5):
+            assert make_request(fixed, catalog, as_rng(seed)).chain.length == 7
+
+    def test_expectation_in_range(self, settings):
+        catalog = VNFCatalog.random(rng=1)
+        for seed in range(20):
+            request = make_request(settings, catalog, as_rng(seed))
+            lo, hi = settings.expectation_range
+            assert lo <= request.expectation <= hi
+
+
+class TestMakeTrial:
+    def test_complete_instance(self, settings):
+        instance = make_trial(settings, rng=3)
+        problem = instance.problem
+        assert problem.radius == settings.radius
+        assert len(problem.primary_placement) == instance.request.chain.length
+        # residuals are the scaled capacities
+        for v, residual in problem.residuals.items():
+            assert residual == pytest.approx(
+                instance.network.capacity(v) * settings.residual_fraction
+            )
+
+    def test_primaries_on_cloudlets(self, settings):
+        instance = make_trial(settings, rng=3)
+        for v in instance.problem.primary_placement:
+            assert instance.network.is_cloudlet(v)
+
+    def test_deterministic(self, settings):
+        a = make_trial(settings, rng=5)
+        b = make_trial(settings, rng=5)
+        assert a.problem.primary_placement == b.problem.primary_placement
+        assert a.problem.num_items == b.problem.num_items
+        assert a.request.expectation == b.request.expectation
+
+    def test_network_reuse(self, settings):
+        network = make_network(settings, as_rng(1))
+        instance = make_trial(settings, rng=2, network=network)
+        assert instance.network is network
+
+    def test_items_generated_for_typical_draw(self, settings):
+        instance = make_trial(settings, rng=3)
+        if not instance.problem.baseline_meets_expectation:
+            assert instance.problem.num_items > 0

@@ -1,0 +1,137 @@
+"""Pipeline fuzzing: random configurations through the full stack.
+
+Hypothesis drives whole *configurations* -- topology family, network size,
+cloudlet density, chain shape, radius, residual scale -- through topology
+generation, placement, item generation, all feasible-solution algorithms,
+and independent validation.  The property is uniform: whatever the
+configuration, every algorithm returns a validated solution that weakly
+improves the baseline, and the exact ILP dominates the rest.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.baselines import GreedyGain
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.algorithms.ilp_exact import ILPAlgorithm
+from repro.algorithms.repair import RepairedRandomizedRounding
+from repro.core.items import ItemGenerationConfig
+from repro.core.problem import AugmentationProblem
+from repro.core.validation import check_solution
+from repro.netmodel.graph import MECNetwork
+from repro.netmodel.vnf import Request, ServiceFunctionChain, VNFType
+from repro.topology.families import (
+    barabasi_albert_topology,
+    erdos_renyi_topology,
+    grid_topology,
+    ring_topology,
+    tree_topology,
+)
+from repro.topology.gtitm import generate_gtitm_topology
+from repro.util.rng import as_rng
+
+FAMILIES = {
+    "waxman": lambda n, rng: generate_gtitm_topology(n, rng=rng),
+    "er": lambda n, rng: erdos_renyi_topology(n, 0.25, rng=rng),
+    "ba": lambda n, rng: barabasi_albert_topology(n, 2, rng=rng),
+    "grid": lambda n, rng: grid_topology(max(2, int(n**0.5)), max(2, int(n**0.5))),
+    "ring": lambda n, rng: ring_topology(max(3, n)),
+    "tree": lambda n, rng: tree_topology(n, branching=2),
+}
+
+configurations = st.fixed_dictionaries(
+    {
+        "family": st.sampled_from(sorted(FAMILIES)),
+        "num_nodes": st.integers(8, 24),
+        "cloudlet_count": st.integers(2, 5),
+        "chain_length": st.integers(1, 4),
+        "radius": st.integers(0, 3),
+        "residual_scale": st.floats(0.1, 1.0),
+        "seed": st.integers(0, 100_000),
+    }
+)
+
+
+def _build(config) -> AugmentationProblem | None:
+    gen = as_rng(config["seed"])
+    graph = FAMILIES[config["family"]](config["num_nodes"], gen)
+    nodes = sorted(graph.nodes)
+    cloudlet_count = min(config["cloudlet_count"], len(nodes))
+    chosen = gen.choice(len(nodes), size=cloudlet_count, replace=False)
+    capacities = {
+        nodes[int(i)]: float(gen.uniform(400, 1600)) for i in chosen
+    }
+    network = MECNetwork(graph, capacities)
+    types = [
+        VNFType(
+            f"f{i}",
+            demand=float(gen.uniform(80, 400)),
+            reliability=float(gen.uniform(0.5, 0.98)),
+        )
+        for i in range(config["chain_length"])
+    ]
+    request = Request(
+        "fuzz",
+        ServiceFunctionChain(types),
+        expectation=float(gen.uniform(0.85, 0.999)),
+    )
+    cloudlets = list(network.cloudlets)
+    primaries = [
+        cloudlets[int(gen.integers(0, len(cloudlets)))]
+        for _ in range(config["chain_length"])
+    ]
+    residuals = {
+        v: capacities[v] * config["residual_scale"] for v in capacities
+    }
+    return AugmentationProblem.build(
+        network,
+        request,
+        primaries,
+        radius=config["radius"],
+        residuals=residuals,
+        item_config=ItemGenerationConfig(max_backups_per_function=6),
+    )
+
+
+class TestFuzzedConfigurations:
+    @given(config=configurations)
+    @settings(max_examples=40, deadline=None)
+    def test_every_algorithm_valid_and_ordered(self, config):
+        problem = _build(config)
+        algorithms = [
+            ILPAlgorithm(stop_at_expectation=False),
+            MatchingHeuristic(stop_at_expectation=False),
+            GreedyGain(stop_at_expectation=False),
+            RepairedRandomizedRounding(stop_at_expectation=False),
+        ]
+        reliabilities = {}
+        for algorithm in algorithms:
+            result = algorithm.solve(problem, rng=config["seed"])
+            report = check_solution(
+                problem,
+                result.solution,
+                claimed_reliability=result.reliability,
+            )
+            assert report.ok, (config, algorithm.name, report.issues)
+            assert result.reliability >= problem.baseline_reliability - 1e-12
+            reliabilities[algorithm.name] = result.reliability
+        ilp = reliabilities["ILP"]
+        for name, reliability in reliabilities.items():
+            assert reliability <= ilp + 1e-5, (config, name)
+
+    @given(config=configurations)
+    @settings(max_examples=40, deadline=None)
+    def test_item_generation_invariants(self, config):
+        problem = _build(config)
+        for item in problem.items:
+            assert item.gain > 0
+            assert item.cost > 0
+            assert item.demand > 0
+            assert item.bins  # at least one usable bin
+            primary = problem.primary_placement[item.position]
+            for u in item.bins:
+                assert problem.neighborhoods.contains(primary, u)
+                assert problem.residuals[u] + 1e-9 >= item.demand

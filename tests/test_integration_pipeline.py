@@ -1,0 +1,142 @@
+"""End-to-end integration tests: topology -> admission -> augmentation.
+
+These exercise the full public API exactly as the examples do, across graph
+families, locality radii, and algorithms, with independent validation of
+every solution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.algorithms.baselines import GreedyGain
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.algorithms.ilp_exact import ILPAlgorithm
+from repro.algorithms.randomized import RandomizedRounding
+from repro.netmodel.capacity import CapacityLedger
+from repro.topology.families import erdos_renyi_topology, grid_topology
+from repro.topology.placement import uniform_capacity_network
+
+ALGORITHMS = [
+    ILPAlgorithm(),
+    RandomizedRounding(),
+    MatchingHeuristic(),
+    GreedyGain(),
+]
+
+
+def _build_problem(network, rng_seed, radius=1, length=4, residual=0.25):
+    catalog = repro.VNFCatalog.random(rng=rng_seed)
+    chain = catalog.sample_chain(length, rng=rng_seed)
+    request = repro.Request("it", chain, expectation=0.97)
+    primaries = repro.random_primary_placement(network, request, rng=rng_seed)
+    return repro.AugmentationProblem.build(
+        network,
+        request,
+        primaries,
+        radius=radius,
+        residuals=network.scaled_capacities(residual),
+    )
+
+
+class TestFullPipelineOnWaxman:
+    @pytest.fixture
+    def problem(self):
+        graph = repro.generate_gtitm_topology(60, rng=21)
+        network = repro.build_mec_network(graph, rng=21)
+        return _build_problem(network, 21)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda a: a.name)
+    def test_valid_and_improving(self, problem, algorithm):
+        result = algorithm.solve(problem, rng=1)
+        allow = algorithm.name == "Randomized"
+        report = repro.check_solution(
+            problem,
+            result.solution,
+            allow_capacity_violation=allow,
+            claimed_reliability=result.reliability,
+        )
+        assert report.ok, report.issues
+        assert result.reliability >= problem.baseline_reliability - 1e-12
+
+
+class TestGraphFamilies:
+    @pytest.mark.parametrize(
+        "make_graph",
+        [
+            lambda: grid_topology(6, 6),
+            lambda: erdos_renyi_topology(36, 0.15, rng=4),
+        ],
+        ids=["grid", "erdos-renyi"],
+    )
+    def test_pipeline_on_family(self, make_graph):
+        network = uniform_capacity_network(make_graph(), 3000.0)
+        problem = _build_problem(network, 8, residual=0.5)
+        ilp = ILPAlgorithm().solve(problem)
+        heuristic = MatchingHeuristic().solve(problem)
+        for result in (ilp, heuristic):
+            assert repro.check_solution(
+                problem, result.solution, claimed_reliability=result.reliability
+            ).ok
+
+
+class TestRadiusSweep:
+    """Larger locality radius can only help (more candidate bins)."""
+
+    def test_monotone_in_radius(self):
+        graph = repro.generate_gtitm_topology(50, rng=33)
+        network = repro.build_mec_network(graph, rng=33)
+        catalog = repro.VNFCatalog.random(rng=33)
+        chain = catalog.sample_chain(5, rng=33)
+        request = repro.Request("radius", chain, expectation=0.999999)
+        primaries = repro.random_primary_placement(network, request, rng=33)
+        residuals = network.scaled_capacities(0.25)
+
+        reliabilities = []
+        for radius in (0, 1, 2, network.num_nodes - 1):
+            problem = repro.AugmentationProblem.build(
+                network, request, primaries, radius=radius, residuals=residuals
+            )
+            result = ILPAlgorithm(stop_at_expectation=False).solve(problem)
+            reliabilities.append(result.reliability)
+        for smaller, larger in zip(reliabilities, reliabilities[1:]):
+            assert larger >= smaller - 1e-9
+
+
+class TestAdmissionThenAugmentation:
+    """The DAG admission flow: primaries consume real capacity first."""
+
+    def test_end_to_end(self):
+        graph = repro.generate_gtitm_topology(40, rng=10)
+        network = repro.build_mec_network(graph, rng=10)
+        catalog = repro.VNFCatalog.random(rng=10)
+        chain = catalog.sample_chain(4, rng=10)
+        request = repro.Request("adm", chain, expectation=0.97)
+        ledger = CapacityLedger(network.capacities)
+        outcome = repro.admit_request(network, request, ledger)
+        assert outcome.reliability == pytest.approx(chain.primaries_reliability())
+
+        problem = repro.AugmentationProblem.build(
+            network, request, outcome.placement, residuals=ledger.residuals()
+        )
+        result = MatchingHeuristic().solve(problem)
+        assert repro.check_solution(
+            problem, result.solution, claimed_reliability=result.reliability
+        ).ok
+        assert result.reliability >= outcome.reliability
+
+
+class TestOrderingAcrossInstances:
+    """ILP >= Heuristic and ILP >= Greedy on every instance (untrimmed)."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_ilp_dominates(self, seed):
+        graph = repro.generate_gtitm_topology(40, rng=seed)
+        network = repro.build_mec_network(graph, rng=seed)
+        problem = _build_problem(network, seed, residual=0.2)
+        ilp = ILPAlgorithm(stop_at_expectation=False).solve(problem)
+        heuristic = MatchingHeuristic(stop_at_expectation=False).solve(problem)
+        greedy = GreedyGain(stop_at_expectation=False).solve(problem)
+        assert heuristic.reliability <= ilp.reliability + 1e-5
+        assert greedy.reliability <= ilp.reliability + 1e-5

@@ -1,0 +1,127 @@
+"""Tests for the from-scratch Hungarian solver, incl. brute-force/scipy checks."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+from scipy.optimize import linear_sum_assignment
+
+from repro.matching.hungarian import assignment_cost, solve_assignment
+from repro.util.errors import ValidationError
+
+
+def brute_force_optimum(cost: np.ndarray) -> float:
+    """Exhaustive min-cost assignment for tiny matrices."""
+    n, m = cost.shape
+    best = np.inf
+    for perm in itertools.permutations(range(m), n):
+        best = min(best, sum(cost[i, perm[i]] for i in range(n)))
+    return best
+
+
+class TestBasics:
+    def test_identity_matrix(self):
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assignment, total = solve_assignment(cost)
+        assert list(assignment) == [0, 1]
+        assert total == 0.0
+
+    def test_forced_swap(self):
+        cost = np.array([[10.0, 1.0], [1.0, 10.0]])
+        assignment, total = solve_assignment(cost)
+        assert list(assignment) == [1, 0]
+        assert total == 2.0
+
+    def test_rectangular_picks_best_columns(self):
+        cost = np.array([[5.0, 1.0, 9.0]])
+        assignment, total = solve_assignment(cost)
+        assert list(assignment) == [1]
+        assert total == 1.0
+
+    def test_empty(self):
+        assignment, total = solve_assignment(np.empty((0, 3)))
+        assert len(assignment) == 0
+        assert total == 0.0
+
+    def test_single_cell(self):
+        assignment, total = solve_assignment(np.array([[7.0]]))
+        assert list(assignment) == [0]
+        assert total == 7.0
+
+    def test_negative_costs(self):
+        cost = np.array([[-5.0, 0.0], [0.0, -5.0]])
+        _, total = solve_assignment(cost)
+        assert total == -10.0
+
+    def test_columns_distinct(self):
+        rng = np.random.default_rng(0)
+        cost = rng.uniform(size=(6, 6))
+        assignment, _ = solve_assignment(cost)
+        assert len(set(assignment.tolist())) == 6
+
+
+class TestValidation:
+    def test_more_rows_than_cols_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_assignment(np.zeros((3, 2)))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_assignment(np.array([[np.inf, 1.0]]))
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_assignment(np.zeros(4))
+
+
+class TestAgainstReferences:
+    @pytest.mark.parametrize("n,m", [(2, 2), (3, 3), (3, 5), (4, 4), (1, 6)])
+    def test_matches_brute_force(self, n, m):
+        rng = np.random.default_rng(n * 100 + m)
+        for _ in range(20):
+            cost = rng.uniform(-5, 5, size=(n, m))
+            _, total = solve_assignment(cost)
+            assert total == pytest.approx(brute_force_optimum(cost))
+
+    @pytest.mark.parametrize("size", [5, 10, 25, 60])
+    def test_matches_scipy_square(self, size):
+        rng = np.random.default_rng(size)
+        cost = rng.uniform(0, 100, size=(size, size))
+        _, total = solve_assignment(cost)
+        rows, cols = linear_sum_assignment(cost)
+        assert total == pytest.approx(float(cost[rows, cols].sum()))
+
+    @pytest.mark.parametrize("n,m", [(5, 12), (10, 30), (20, 21)])
+    def test_matches_scipy_rectangular(self, n, m):
+        rng = np.random.default_rng(n * 7 + m)
+        cost = rng.uniform(-10, 10, size=(n, m))
+        _, total = solve_assignment(cost)
+        rows, cols = linear_sum_assignment(cost)
+        assert total == pytest.approx(float(cost[rows, cols].sum()))
+
+    @given(
+        cost=arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(1, 5), st.integers(5, 7)),
+            elements=st.floats(-50, 50),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_scipy(self, cost):
+        _, total = solve_assignment(cost)
+        rows, cols = linear_sum_assignment(cost)
+        assert total == pytest.approx(float(cost[rows, cols].sum()), abs=1e-9)
+
+    def test_duplicate_costs_still_optimal(self):
+        cost = np.ones((4, 4))
+        _, total = solve_assignment(cost)
+        assert total == pytest.approx(4.0)
+
+    def test_assignment_cost_helper(self):
+        cost = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert assignment_cost(cost, np.array([1, 0])) == pytest.approx(5.0)

@@ -1,0 +1,192 @@
+"""Tests for the capacity ledger, including hypothesis-driven invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netmodel.capacity import Allocation, CapacityLedger
+from repro.util.errors import CapacityError, ValidationError
+
+
+@pytest.fixture
+def ledger() -> CapacityLedger:
+    return CapacityLedger({0: 100.0, 1: 50.0, 2: 0.0})
+
+
+class TestBasics:
+    def test_initial_state(self, ledger):
+        assert ledger.residual(0) == 100.0
+        assert ledger.used(0) == 0.0
+        assert ledger.initial(1) == 50.0
+        assert set(ledger.nodes) == {0, 1, 2}
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ValidationError):
+            CapacityLedger({0: -1.0})
+
+    def test_allocate_and_residual(self, ledger):
+        ledger.allocate(0, 30.0)
+        assert ledger.residual(0) == pytest.approx(70.0)
+        assert ledger.used(0) == pytest.approx(30.0)
+
+    def test_overallocation_raises(self, ledger):
+        with pytest.raises(CapacityError):
+            ledger.allocate(1, 50.1)
+
+    def test_exact_fit_allowed(self, ledger):
+        ledger.allocate(1, 50.0)
+        assert ledger.residual(1) == pytest.approx(0.0)
+
+    def test_allow_violation(self, ledger):
+        ledger.allocate(1, 80.0, allow_violation=True)
+        assert ledger.residual(1) == pytest.approx(-30.0)
+        assert ledger.violations() == {1: pytest.approx(30.0)}
+
+    def test_unknown_node(self, ledger):
+        with pytest.raises(KeyError):
+            ledger.allocate(42, 1.0)
+
+    def test_nonpositive_amount(self, ledger):
+        with pytest.raises(ValidationError):
+            ledger.allocate(0, 0.0)
+        with pytest.raises(ValidationError):
+            ledger.allocate(0, -1.0)
+
+    def test_fits(self, ledger):
+        assert ledger.fits(0, 100.0)
+        assert not ledger.fits(0, 100.5)
+        assert not ledger.fits(2, 0.5)
+
+
+class TestMaxUnits:
+    def test_floor_division(self, ledger):
+        assert ledger.max_units(0, 30.0) == 3
+        assert ledger.max_units(1, 30.0) == 1
+        assert ledger.max_units(2, 30.0) == 0
+
+    def test_float_noise_robust(self):
+        ledger = CapacityLedger({0: 1000.0})
+        # 1000 / 250 must be exactly 4 despite float representation
+        assert ledger.max_units(0, 250.0) == 4
+
+    def test_unit_must_be_positive(self, ledger):
+        with pytest.raises(ValidationError):
+            ledger.max_units(0, 0.0)
+
+    def test_after_allocations(self, ledger):
+        ledger.allocate(0, 55.0)
+        assert ledger.max_units(0, 30.0) == 1
+
+
+class TestJournalAndRollback:
+    def test_journal_records(self, ledger):
+        a = ledger.allocate(0, 10.0, tag="x")
+        assert ledger.journal == [a]
+        assert a == Allocation(0, 10.0, "x")
+
+    def test_release(self, ledger):
+        a = ledger.allocate(0, 10.0)
+        ledger.release(a)
+        assert ledger.residual(0) == 100.0
+        assert ledger.journal == []
+
+    def test_release_unknown_rejected(self, ledger):
+        with pytest.raises(ValidationError):
+            ledger.release(Allocation(0, 5.0))
+
+    def test_rollback(self, ledger):
+        ledger.allocate(0, 10.0)
+        mark = ledger.checkpoint()
+        ledger.allocate(0, 20.0)
+        ledger.allocate(1, 5.0)
+        ledger.rollback(mark)
+        assert ledger.residual(0) == pytest.approx(90.0)
+        assert ledger.residual(1) == pytest.approx(50.0)
+        assert len(ledger.journal) == 1
+
+    def test_rollback_invalid_checkpoint(self, ledger):
+        with pytest.raises(ValidationError):
+            ledger.rollback(5)
+        with pytest.raises(ValidationError):
+            ledger.rollback(-1)
+
+    def test_copy_is_independent(self, ledger):
+        ledger.allocate(0, 10.0)
+        clone = ledger.copy()
+        clone.allocate(0, 10.0)
+        assert ledger.residual(0) == pytest.approx(90.0)
+        assert clone.residual(0) == pytest.approx(80.0)
+
+
+class TestUsageStats:
+    def test_untouched(self, ledger):
+        mean, lo, hi = ledger.usage_stats()
+        assert (mean, lo, hi) == (0.0, 0.0, 0.0)
+
+    def test_basic_ratios(self, ledger):
+        ledger.allocate(0, 50.0)
+        mean, lo, hi = ledger.usage_stats()
+        assert hi == pytest.approx(0.5)
+        assert lo == 0.0
+        assert mean == pytest.approx(0.25)  # over the two positive-capacity nodes
+
+    def test_violation_ratio_above_one(self, ledger):
+        ledger.allocate(1, 75.0, allow_violation=True)
+        assert ledger.usage_ratio(1) == pytest.approx(1.5)
+
+    def test_zero_capacity_node_ratio(self, ledger):
+        assert ledger.usage_ratio(2) == 0.0
+
+    def test_stats_subset(self, ledger):
+        ledger.allocate(0, 100.0)
+        mean, lo, hi = ledger.usage_stats(nodes=[0])
+        assert (mean, lo, hi) == (pytest.approx(1.0),) * 3
+
+    def test_empty_pool(self):
+        ledger = CapacityLedger({0: 0.0})
+        assert ledger.usage_stats() == (0.0, 0.0, 0.0)
+
+
+class TestPropertyBased:
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 2), st.floats(0.1, 40.0)),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_used_equals_journal_sum(self, ops):
+        """used(v) always equals the sum of journaled allocations at v."""
+        ledger = CapacityLedger({0: 500.0, 1: 500.0, 2: 500.0})
+        for node, amount in ops:
+            try:
+                ledger.allocate(node, amount)
+            except CapacityError:
+                pass
+        for v in ledger.nodes:
+            journal_sum = sum(a.amount for a in ledger.journal if a.node == v)
+            assert ledger.used(v) == pytest.approx(journal_sum)
+            assert ledger.residual(v) == pytest.approx(500.0 - journal_sum)
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 1), st.floats(0.1, 30.0)), min_size=1, max_size=20
+        ),
+        split=st.integers(0, 20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_rollback_restores_state(self, ops, split):
+        """Rollback to a checkpoint exactly undoes everything after it."""
+        ledger = CapacityLedger({0: 1000.0, 1: 1000.0})
+        split = min(split, len(ops))
+        for node, amount in ops[:split]:
+            ledger.allocate(node, amount)
+        snapshot = ledger.residuals()
+        mark = ledger.checkpoint()
+        for node, amount in ops[split:]:
+            ledger.allocate(node, amount, allow_violation=True)
+        ledger.rollback(mark)
+        for v, residual in snapshot.items():
+            assert ledger.residual(v) == pytest.approx(residual)

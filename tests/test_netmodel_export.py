@@ -1,0 +1,68 @@
+"""Tests for the Graphviz DOT exports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solution import AugmentationSolution
+from repro.netmodel.export import network_to_dot, placement_to_dot
+
+
+class TestNetworkToDot:
+    def test_structure(self, line_network):
+        dot = network_to_dot(line_network, name="lab")
+        assert dot.startswith('graph "lab" {')
+        assert dot.endswith("}")
+
+    def test_all_nodes_and_edges_present(self, line_network):
+        dot = network_to_dot(line_network)
+        for v in range(5):
+            assert f"  {v} [" in dot
+        for u in range(4):
+            assert f"  {u} -- {u + 1};" in dot
+
+    def test_cloudlets_get_capacity_labels(self, ring_network):
+        dot = network_to_dot(ring_network)
+        assert "900 MHz" in dot
+        assert dot.count("shape=box") == 3  # three cloudlets
+        assert dot.count("shape=circle") == 3  # three plain APs
+
+    def test_deterministic(self, line_network):
+        assert network_to_dot(line_network) == network_to_dot(line_network)
+
+    def test_name_escaping(self, line_network):
+        dot = network_to_dot(line_network, name='a"b')
+        assert 'graph "a\\"b"' in dot
+
+
+class TestPlacementToDot:
+    def test_primaries_marked(self, small_problem):
+        dot = placement_to_dot(small_problem, AugmentationSolution.empty())
+        assert "peripheries=2" in dot
+        assert "primary: fw" in dot
+
+    def test_backup_edges_labelled(self, small_problem):
+        solution = AugmentationSolution.from_assignments(
+            small_problem, {(0, 1): 0, (0, 2): 0}
+        )
+        dot = placement_to_dot(small_problem, solution)
+        # two backups of position 0 (fw, primary at 1) on cloudlet 0
+        assert '1 -- 0 [label="fw x2"' in dot or '0 -- 1' in dot
+        assert "style=dashed" in dot
+
+    def test_same_cloudlet_backup_self_loop(self, small_problem):
+        solution = AugmentationSolution.from_assignments(small_problem, {(1, 1): 2})
+        dot = placement_to_dot(small_problem, solution)
+        assert '2 -- 2 [label="nat x1"' in dot
+
+    def test_valid_dot_syntax_brackets_balance(self, small_problem):
+        solution = AugmentationSolution.from_assignments(small_problem, {(0, 1): 1})
+        dot = placement_to_dot(small_problem, solution)
+        assert dot.count("{") == dot.count("}")
+        assert dot.count("[") == dot.count("]")
+
+    def test_deterministic(self, small_problem):
+        solution = AugmentationSolution.from_assignments(small_problem, {(0, 1): 1})
+        assert placement_to_dot(small_problem, solution) == placement_to_dot(
+            small_problem, solution
+        )

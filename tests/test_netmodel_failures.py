@@ -1,0 +1,163 @@
+"""Tests for the Monte-Carlo failure simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reliability import chain_reliability
+from repro.core.solution import AugmentationSolution
+from repro.netmodel.failures import (
+    co_failure_exposure,
+    diversity_score,
+    simulate_chain_reliability,
+)
+from repro.util.errors import ValidationError
+
+
+def _solution(problem, assignments):
+    return AugmentationSolution.from_assignments(problem, assignments)
+
+
+class TestSimulateMatchesAlgebra:
+    def test_primaries_only(self, small_problem):
+        estimate = simulate_chain_reliability(
+            small_problem, AugmentationSolution.empty(), trials=40_000, rng=1
+        )
+        assert estimate.within(small_problem.baseline_reliability)
+
+    def test_with_backups(self, small_problem):
+        solution = _solution(small_problem, {(0, 1): 1, (1, 1): 2, (2, 1): 3})
+        expected = chain_reliability(small_problem.reliabilities, [1, 1, 1])
+        estimate = simulate_chain_reliability(
+            small_problem, solution, trials=40_000, rng=2
+        )
+        assert estimate.within(expected)
+
+    def test_deeper_redundancy(self, small_problem):
+        assignments = {}
+        for pos, items in small_problem.grouped_items().items():
+            for it in items[:3]:
+                assignments[(pos, it.k)] = it.bins[0]
+        solution = _solution(small_problem, assignments)
+        counts = solution.backup_counts(3)
+        expected = chain_reliability(small_problem.reliabilities, counts)
+        estimate = simulate_chain_reliability(
+            small_problem, solution, trials=40_000, rng=3
+        )
+        assert estimate.within(expected)
+
+    def test_estimate_fields(self, small_problem):
+        estimate = simulate_chain_reliability(
+            small_problem, AugmentationSolution.empty(), trials=500, rng=4
+        )
+        assert estimate.trials == 500
+        assert 0.0 <= estimate.reliability <= 1.0
+        assert estimate.std_error > 0
+
+    def test_invalid_trials(self, small_problem):
+        with pytest.raises(ValidationError):
+            simulate_chain_reliability(
+                small_problem, AugmentationSolution.empty(), trials=0
+            )
+
+
+class TestCloudletFailures:
+    def test_correlated_failures_hurt(self, small_problem):
+        """Cloudlet failures strictly reduce reliability vs the pure model."""
+        solution = _solution(small_problem, {(0, 1): 1, (1, 1): 2, (2, 1): 3})
+        clean = simulate_chain_reliability(small_problem, solution, trials=20_000, rng=5)
+        faulty = simulate_chain_reliability(
+            small_problem, solution, trials=20_000, cloudlet_failure_prob=0.2, rng=5
+        )
+        assert faulty.reliability < clean.reliability
+
+    def test_spread_beats_colocated_under_cloudlet_failures(self, small_problem):
+        """Diversity matters only when cloudlets fail: backups on a distinct
+        cloudlet survive the primary's host going down."""
+        # position 0's primary is at node 1; (0,1) can go to 0, 1, or 2
+        colocated = _solution(small_problem, {(0, 1): 1})
+        spread = _solution(small_problem, {(0, 1): 2})
+        est_col = simulate_chain_reliability(
+            small_problem, colocated, trials=30_000, cloudlet_failure_prob=0.3, rng=6
+        )
+        est_spread = simulate_chain_reliability(
+            small_problem, spread, trials=30_000, cloudlet_failure_prob=0.3, rng=6
+        )
+        assert est_spread.reliability > est_col.reliability
+
+    def test_per_cloudlet_probabilities(self, small_problem):
+        solution = _solution(small_problem, {(0, 1): 1})
+        estimate = simulate_chain_reliability(
+            small_problem,
+            solution,
+            trials=5_000,
+            cloudlet_failure_prob={1: 0.5},
+            rng=7,
+        )
+        assert 0.0 < estimate.reliability < 1.0
+
+    def test_invalid_probability(self, small_problem):
+        with pytest.raises(ValidationError):
+            simulate_chain_reliability(
+                small_problem,
+                AugmentationSolution.empty(),
+                trials=10,
+                cloudlet_failure_prob=1.0,
+            )
+
+
+class TestReliabilityJitter:
+    def test_zero_jitter_matches_algebra(self, small_problem):
+        solution = _solution(small_problem, {(0, 1): 1})
+        expected = solution.reliability(small_problem)
+        estimate = simulate_chain_reliability(
+            small_problem, solution, trials=40_000, reliability_jitter=0.0, rng=8
+        )
+        assert estimate.within(expected)
+
+    def test_small_jitter_stays_close(self, small_problem):
+        """The homogeneous prediction is robust to a few percent of
+        per-instance reliability spread."""
+        solution = _solution(small_problem, {(0, 1): 1, (1, 1): 2, (2, 1): 3})
+        expected = solution.reliability(small_problem)
+        estimate = simulate_chain_reliability(
+            small_problem, solution, trials=40_000, reliability_jitter=0.05, rng=9
+        )
+        assert abs(estimate.reliability - expected) < 0.05
+
+    def test_invalid_jitter(self, small_problem):
+        with pytest.raises(ValidationError):
+            simulate_chain_reliability(
+                small_problem,
+                AugmentationSolution.empty(),
+                trials=10,
+                reliability_jitter=1.0,
+            )
+
+
+class TestDiversityMetrics:
+    def test_diversity_score(self, small_problem):
+        spread = _solution(small_problem, {(0, 1): 0, (0, 2): 2})
+        scores = diversity_score(small_problem, spread)
+        # position 0: primary@1 + backups@0,2 -> 3 distinct / 3 instances
+        assert scores[0] == pytest.approx(1.0)
+        # untouched positions: single primary -> fully diverse trivially
+        assert scores[1] == pytest.approx(1.0)
+
+    def test_colocated_scores_low(self, small_problem):
+        colocated = _solution(small_problem, {(0, 1): 1, (0, 2): 1})
+        scores = diversity_score(small_problem, colocated)
+        assert scores[0] == pytest.approx(1 / 3)
+
+    def test_co_failure_exposure(self, small_problem):
+        colocated = _solution(small_problem, {(0, 1): 1})  # primary also at 1
+        exposure = co_failure_exposure(small_problem, colocated)
+        # positions 0 (all on node 1), 1 (primary@2), 2 (primary@3)
+        assert exposure[1] >= 1
+        assert exposure[2] == 1
+        assert exposure[3] == 1
+
+    def test_exposure_empty_when_spread(self, small_problem):
+        spread = _solution(small_problem, {(0, 1): 0, (1, 1): 1, (2, 1): 2})
+        exposure = co_failure_exposure(small_problem, spread)
+        assert exposure == {}

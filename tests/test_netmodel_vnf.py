@@ -1,0 +1,165 @@
+"""Tests for VNF types, catalogs, chains, and requests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.netmodel.vnf import Request, ServiceFunctionChain, VNFCatalog, VNFType
+from repro.util.errors import ValidationError
+
+
+class TestVNFType:
+    def test_valid(self):
+        f = VNFType("fw", demand=200.0, reliability=0.9)
+        assert f.name == "fw"
+
+    @pytest.mark.parametrize("demand", [0.0, -5.0])
+    def test_invalid_demand(self, demand):
+        with pytest.raises(ValidationError):
+            VNFType("fw", demand=demand, reliability=0.9)
+
+    @pytest.mark.parametrize("rel", [0.0, -0.1, 1.0001])
+    def test_invalid_reliability(self, rel):
+        with pytest.raises(ValidationError):
+            VNFType("fw", demand=100.0, reliability=rel)
+
+    def test_perfect_reliability_allowed(self):
+        f = VNFType("fw", demand=100.0, reliability=1.0)
+        assert f.log_unreliability == -math.inf
+
+    def test_log_unreliability(self):
+        f = VNFType("fw", demand=100.0, reliability=0.75)
+        assert f.log_unreliability == pytest.approx(math.log(0.25))
+
+    def test_with_reliability(self):
+        f = VNFType("fw", demand=100.0, reliability=0.75)
+        g = f.with_reliability(0.5)
+        assert g.reliability == 0.5
+        assert g.name == f.name and g.demand == f.demand
+
+    def test_frozen(self):
+        f = VNFType("fw", demand=100.0, reliability=0.75)
+        with pytest.raises(AttributeError):
+            f.demand = 1.0  # type: ignore[misc]
+
+
+class TestVNFCatalog:
+    def test_lookup_and_order(self, small_catalog):
+        assert small_catalog["fw"].demand == 200.0
+        assert small_catalog.names == ["fw", "nat", "ids"]
+        assert len(small_catalog) == 3
+        assert "fw" in small_catalog
+        assert "bogus" not in small_catalog
+
+    def test_unknown_lookup(self, small_catalog):
+        with pytest.raises(KeyError):
+            small_catalog["bogus"]
+
+    def test_duplicate_names_rejected(self):
+        f = VNFType("x", 10.0, 0.9)
+        with pytest.raises(ValidationError):
+            VNFCatalog([f, f])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            VNFCatalog([])
+
+    def test_random_respects_ranges(self):
+        cat = VNFCatalog.random(
+            num_types=50,
+            demand_range=(200.0, 400.0),
+            reliability_range=(0.8, 0.9),
+            rng=1,
+        )
+        assert len(cat) == 50
+        for f in cat:
+            assert 200.0 <= f.demand <= 400.0
+            assert 0.8 <= f.reliability <= 0.9
+
+    def test_random_deterministic(self):
+        a = VNFCatalog.random(rng=3)
+        b = VNFCatalog.random(rng=3)
+        assert [(f.demand, f.reliability) for f in a] == [
+            (f.demand, f.reliability) for f in b
+        ]
+
+    def test_random_invalid_ranges(self):
+        with pytest.raises(ValidationError):
+            VNFCatalog.random(reliability_range=(0.9, 0.8))
+        with pytest.raises(ValidationError):
+            VNFCatalog.random(demand_range=(-1.0, 5.0))
+        with pytest.raises(ValidationError):
+            VNFCatalog.random(num_types=0)
+
+    def test_sample_chain_length(self, small_catalog):
+        chain = small_catalog.sample_chain(7, rng=2)
+        assert chain.length == 7
+
+    def test_sample_chain_distinct(self, small_catalog):
+        chain = small_catalog.sample_chain(3, rng=2, distinct=True)
+        assert len({f.name for f in chain}) == 3
+
+    def test_sample_chain_distinct_too_long(self, small_catalog):
+        with pytest.raises(ValidationError):
+            small_catalog.sample_chain(4, rng=2, distinct=True)
+
+    def test_sample_chain_zero_rejected(self, small_catalog):
+        with pytest.raises(ValidationError):
+            small_catalog.sample_chain(0)
+
+
+class TestServiceFunctionChain:
+    def test_iteration_and_indexing(self, small_catalog):
+        chain = ServiceFunctionChain([small_catalog["fw"], small_catalog["nat"]])
+        assert chain[0].name == "fw"
+        assert [f.name for f in chain] == ["fw", "nat"]
+        assert chain.length == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ServiceFunctionChain([])
+
+    def test_total_demand(self, small_catalog):
+        chain = ServiceFunctionChain([small_catalog["fw"], small_catalog["nat"]])
+        assert chain.total_demand == pytest.approx(500.0)
+
+    def test_primaries_reliability(self, small_catalog):
+        chain = ServiceFunctionChain([small_catalog["fw"], small_catalog["nat"]])
+        assert chain.primaries_reliability() == pytest.approx(0.8 * 0.85)
+
+    def test_repeated_functions_allowed(self, small_catalog):
+        chain = ServiceFunctionChain([small_catalog["fw"]] * 3)
+        assert chain.primaries_reliability() == pytest.approx(0.8**3)
+
+    def test_log_budget(self, small_catalog):
+        chain = ServiceFunctionChain([small_catalog["fw"]])
+        assert chain.log_budget(0.95) == pytest.approx(-math.log(0.95))
+
+    def test_log_budget_invalid(self, small_catalog):
+        chain = ServiceFunctionChain([small_catalog["fw"]])
+        with pytest.raises(ValidationError):
+            chain.log_budget(0.0)
+        with pytest.raises(ValidationError):
+            chain.log_budget(1.5)
+
+
+class TestRequest:
+    def test_budget(self, small_request):
+        assert small_request.budget == pytest.approx(-math.log(0.95))
+
+    def test_invalid_expectation(self, small_catalog):
+        chain = ServiceFunctionChain([small_catalog["fw"]])
+        with pytest.raises(ValidationError):
+            Request("r", chain, expectation=0.0)
+        with pytest.raises(ValidationError):
+            Request("r", chain, expectation=1.2)
+
+    def test_meets_expectation(self, small_request):
+        assert small_request.meets_expectation(0.96)
+        assert small_request.meets_expectation(0.95)
+        assert not small_request.meets_expectation(0.90)
+
+    def test_meets_expectation_float_slack(self, small_request):
+        assert small_request.meets_expectation(0.95 - 1e-13)

@@ -1,0 +1,107 @@
+"""The public API surface: everything in ``repro.__all__`` exists and the
+README quickstart runs verbatim."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.ValidationError, repro.ReproError)
+        assert issubclass(repro.CapacityError, repro.ReproError)
+        assert issubclass(repro.InfeasibleError, repro.ReproError)
+
+    def test_algorithm_names(self):
+        assert repro.ILPAlgorithm().name == "ILP"
+        assert repro.RandomizedRounding().name == "Randomized"
+        assert repro.MatchingHeuristic().name == "Heuristic"
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet(self):
+        """The exact code shown in README.md (scaled-down network)."""
+        graph = repro.generate_gtitm_topology(40, rng=42)
+        network = repro.build_mec_network(graph, rng=42)
+
+        catalog = repro.VNFCatalog.random(num_types=30, rng=42)
+        request = repro.Request(
+            "demo", catalog.sample_chain(5, rng=42), expectation=0.97
+        )
+        primaries = repro.random_primary_placement(network, request, rng=42)
+
+        problem = repro.AugmentationProblem.build(
+            network,
+            request,
+            primaries,
+            radius=1,
+            residuals=network.scaled_capacities(0.25),
+        )
+
+        results = [
+            algo.solve(problem, rng=42)
+            for algo in (
+                repro.ILPAlgorithm(),
+                repro.RandomizedRounding(),
+                repro.MatchingHeuristic(),
+            )
+        ]
+        for result in results:
+            assert result.summary()
+            assert 0.0 <= result.reliability <= 1.0
+        # the exact solver bounds the heuristic
+        ilp, _randomized, heuristic = results
+        assert heuristic.reliability <= ilp.reliability + 1e-5 or ilp.expectation_met
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            repro.AugmentationProblem,
+            repro.AugmentationResult,
+            repro.AugmentationSolution,
+            repro.CapacityLedger,
+            repro.ExperimentSettings,
+            repro.ILPAlgorithm,
+            repro.MECNetwork,
+            repro.MatchingHeuristic,
+            repro.RandomizedRounding,
+            repro.Request,
+            repro.ServiceFunctionChain,
+            repro.VNFCatalog,
+            repro.VNFType,
+        ],
+    )
+    def test_public_classes_documented(self, obj):
+        assert obj.__doc__ and len(obj.__doc__.strip()) > 20
+
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            repro.admit_request,
+            repro.build_mec_network,
+            repro.chain_reliability,
+            repro.check_solution,
+            repro.function_reliability,
+            repro.generate_gtitm_topology,
+            repro.generate_items,
+            repro.item_gain,
+            repro.make_trial,
+            repro.paper_cost,
+            repro.random_primary_placement,
+            repro.run_figure1,
+            repro.run_point,
+        ],
+    )
+    def test_public_functions_documented(self, fn):
+        assert fn.__doc__ and len(fn.__doc__.strip()) > 20

@@ -1,0 +1,125 @@
+"""Negative tests: the in-loop validator must catch broken algorithms.
+
+The experiment runner re-validates every solution before counting it.
+These tests feed it deliberately buggy algorithms and assert the harness
+refuses their output -- guarding the guard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import AugmentationAlgorithm, finalize_result
+from repro.core.solution import AugmentationResult, AugmentationSolution, Placement
+from repro.experiments.runner import run_trial
+from repro.experiments.settings import ExperimentSettings
+from repro.util.errors import ValidationError
+from repro.util.rng import RandomState
+
+SETTINGS = ExperimentSettings(num_aps=25, cloudlet_fraction=0.2, trials=1)
+
+
+class OverpackingAlgorithm(AugmentationAlgorithm):
+    """Places every item of one position onto one bin, capacity be damned."""
+
+    name = "Overpacker"
+
+    def solve(self, problem, rng: RandomState = None) -> AugmentationResult:
+        placements = []
+        grouped = problem.grouped_items()
+        if grouped:
+            position, items = next(iter(grouped.items()))
+            bin_ = items[0].bins[0]
+            residual = problem.residuals.get(bin_, 0.0)
+            demand_sum = 0.0
+            for it in items:
+                placements.append(Placement.of(it, bin_))
+                demand_sum += it.demand
+            if demand_sum <= residual:  # not enough items to overload: bail
+                placements = placements * 1  # keep; test will skip
+        return finalize_result(
+            problem,
+            AugmentationSolution(tuple(placements)),
+            algorithm=self.name,
+            runtime_seconds=0.0,
+            stop_at_expectation=False,
+        )
+
+
+class WrongBinAlgorithm(AugmentationAlgorithm):
+    """Places an item on a cloudlet outside its allowed bins."""
+
+    name = "WrongBin"
+
+    def solve(self, problem, rng: RandomState = None) -> AugmentationResult:
+        placements = []
+        for it in problem.items:
+            outside = [
+                v for v in problem.network.cloudlets if v not in it.bins
+            ]
+            if outside:
+                placements.append(Placement.of(it, outside[0]))
+                break
+        return finalize_result(
+            problem,
+            AugmentationSolution(tuple(placements)),
+            algorithm=self.name,
+            runtime_seconds=0.0,
+            stop_at_expectation=False,
+        )
+
+
+class LyingAlgorithm(AugmentationAlgorithm):
+    """Returns an inflated reliability claim."""
+
+    name = "Liar"
+
+    def solve(self, problem, rng: RandomState = None) -> AugmentationResult:
+        honest = finalize_result(
+            problem,
+            AugmentationSolution.empty(),
+            algorithm=self.name,
+            runtime_seconds=0.0,
+            stop_at_expectation=False,
+        )
+        return AugmentationResult(
+            algorithm=self.name,
+            solution=honest.solution,
+            reliability=min(1.0, honest.reliability + 0.1),
+            runtime_seconds=0.0,
+            expectation_met=True,
+        )
+
+
+class TestValidatorCatchesBugs:
+    def test_overpacking_rejected(self):
+        for seed in range(8):
+            try:
+                run_trial(SETTINGS, [OverpackingAlgorithm()], rng=seed, validate=True)
+            except ValidationError as err:
+                assert "overloaded" in str(err)
+                return
+        pytest.skip("no draw produced an overloadable instance")
+
+    def test_wrong_bin_rejected(self):
+        for seed in range(8):
+            try:
+                run_trial(SETTINGS, [WrongBinAlgorithm()], rng=seed, validate=True)
+            except ValidationError as err:
+                assert "disallowed bin" in str(err) or "outside" in str(err)
+                return
+        pytest.skip("no draw produced items with excluded bins")
+
+    def test_reliability_lie_rejected(self):
+        for seed in range(8):
+            try:
+                run_trial(SETTINGS, [LyingAlgorithm()], rng=seed, validate=True)
+            except ValidationError as err:
+                assert "claimed reliability" in str(err)
+                return
+        pytest.fail("the lying algorithm was never caught")
+
+    def test_validation_can_be_disabled(self):
+        # the same buggy algorithm passes with validate=False -- the flag
+        # exists for benchmarking raw algorithm cost only
+        run_trial(SETTINGS, [LyingAlgorithm()], rng=0, validate=False)

@@ -1,0 +1,66 @@
+"""Tests for instance failure/repair calibration."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulation.lifecycle import InstanceProcess, rates_for_reliability
+from repro.util.errors import ValidationError
+
+
+class TestRatesForReliability:
+    def test_availability_identity(self):
+        for r in (0.5, 0.8, 0.95, 0.99):
+            mttf, mttr = rates_for_reliability(r, mttr=1.0)
+            assert mttf / (mttf + mttr) == pytest.approx(r)
+
+    def test_mttr_scaling(self):
+        mttf_1, _ = rates_for_reliability(0.9, mttr=1.0)
+        mttf_5, _ = rates_for_reliability(0.9, mttr=5.0)
+        assert mttf_5 == pytest.approx(5 * mttf_1)
+
+    def test_higher_reliability_longer_uptime(self):
+        mttf_low, _ = rates_for_reliability(0.6)
+        mttf_high, _ = rates_for_reliability(0.95)
+        assert mttf_high > mttf_low
+
+    @pytest.mark.parametrize("r", [0.0, 1.0, -0.5, 1.5])
+    def test_invalid_reliability(self, r):
+        with pytest.raises(ValidationError):
+            rates_for_reliability(r)
+
+    def test_invalid_mttr(self):
+        with pytest.raises(ValidationError):
+            rates_for_reliability(0.9, mttr=0.0)
+
+
+class TestInstanceProcess:
+    def test_availability_property(self):
+        mttf, mttr = rates_for_reliability(0.85)
+        proc = InstanceProcess(0, 3, mttf, mttr)
+        assert proc.availability == pytest.approx(0.85)
+
+    def test_perfect_instance(self):
+        proc = InstanceProcess(0, 3, math.inf, 1.0)
+        assert proc.availability == 1.0
+        assert proc.sample_uptime(np.random.default_rng(0)) == math.inf
+
+    def test_samples_positive(self):
+        mttf, mttr = rates_for_reliability(0.8)
+        proc = InstanceProcess(0, 3, mttf, mttr)
+        gen = np.random.default_rng(1)
+        assert proc.sample_uptime(gen) > 0
+        assert proc.sample_downtime(gen) > 0
+
+    def test_sample_means_track_rates(self):
+        """Empirical means of the exponential draws match MTTF/MTTR."""
+        mttf, mttr = rates_for_reliability(0.9, mttr=2.0)
+        proc = InstanceProcess(0, 0, mttf, mttr)
+        gen = np.random.default_rng(7)
+        ups = [proc.sample_uptime(gen) for _ in range(4000)]
+        downs = [proc.sample_downtime(gen) for _ in range(4000)]
+        assert np.mean(ups) == pytest.approx(mttf, rel=0.1)
+        assert np.mean(downs) == pytest.approx(mttr, rel=0.1)

@@ -1,0 +1,190 @@
+"""Tests for the chain failover simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import AugmentationProblem
+from repro.core.solution import AugmentationSolution
+from repro.netmodel.graph import MECNetwork
+from repro.netmodel.vnf import Request, ServiceFunctionChain, VNFType
+from repro.simulation.runner import SimulationConfig, simulate_solution
+from repro.topology.families import line_topology
+from repro.util.errors import ValidationError
+
+#: Horizon long enough for ~1% absolute convergence at r~0.9, short enough
+#: for fast tests.
+HORIZON = 4_000.0
+
+
+def _single_function_problem(r=0.9, expectation=0.9999, capacity=1000.0):
+    network = MECNetwork(line_topology(3), {v: capacity for v in range(3)})
+    func = VNFType("f", demand=200.0, reliability=r)
+    request = Request("sim", ServiceFunctionChain([func]), expectation=expectation)
+    return AugmentationProblem.build(
+        network, request, [1], residuals={v: capacity for v in range(3)}
+    )
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SimulationConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"horizon": 0.0},
+            {"mttr": 0.0},
+            {"base_delay": -1.0},
+            {"per_hop_delay": -0.1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValidationError):
+            SimulationConfig(**kwargs)
+
+
+class TestConvergenceToStatics:
+    def test_primary_only_availability(self):
+        problem = _single_function_problem(r=0.9)
+        report = simulate_solution(
+            problem,
+            AugmentationSolution.empty(),
+            SimulationConfig(horizon=HORIZON, base_delay=0.0, per_hop_delay=0.0),
+            rng=1,
+        )
+        assert report.availability == pytest.approx(0.9, abs=0.02)
+        assert report.static_prediction == pytest.approx(0.9)
+
+    def test_backup_raises_availability_to_R(self):
+        problem = _single_function_problem(r=0.8)
+        solution = AugmentationSolution.from_assignments(problem, {(0, 1): 1})
+        report = simulate_solution(
+            problem,
+            solution,
+            SimulationConfig(horizon=HORIZON, base_delay=0.0, per_hop_delay=0.0),
+            rng=2,
+        )
+        # R(0.8, 1) = 0.96
+        assert report.availability == pytest.approx(0.96, abs=0.015)
+
+    def test_chain_product(self):
+        network = MECNetwork(line_topology(3), {v: 1000.0 for v in range(3)})
+        funcs = [VNFType("a", 100.0, 0.9), VNFType("b", 100.0, 0.85)]
+        request = Request("sim", ServiceFunctionChain(funcs), expectation=0.9999)
+        problem = AugmentationProblem.build(
+            network, request, [0, 2], residuals={v: 1000.0 for v in range(3)}
+        )
+        report = simulate_solution(
+            problem,
+            AugmentationSolution.empty(),
+            SimulationConfig(horizon=HORIZON, base_delay=0.0, per_hop_delay=0.0),
+            rng=3,
+        )
+        assert report.availability == pytest.approx(0.9 * 0.85, abs=0.02)
+
+    def test_perfect_instances_never_fail(self):
+        problem = _single_function_problem(r=1.0)
+        report = simulate_solution(
+            problem, AugmentationSolution.empty(), SimulationConfig(horizon=500.0), rng=4
+        )
+        assert report.availability == 1.0
+        assert report.failovers == 0
+
+
+class TestSwitchoverCosts:
+    def test_delays_reduce_availability(self):
+        problem = _single_function_problem(r=0.8)
+        solution = AugmentationSolution.from_assignments(problem, {(0, 1): 0})
+        free = simulate_solution(
+            problem, solution,
+            SimulationConfig(horizon=HORIZON, base_delay=0.0, per_hop_delay=0.0),
+            rng=5,
+        )
+        costly = simulate_solution(
+            problem, solution,
+            SimulationConfig(horizon=HORIZON, base_delay=0.05, per_hop_delay=0.05),
+            rng=5,
+        )
+        assert costly.availability < free.availability
+        assert costly.switchover_fraction > 0.0
+        assert free.switchover_fraction == 0.0
+
+    def test_farther_backup_costs_more_switchover(self):
+        """Same failure seed, backup 1 hop vs 2 hops from the primary."""
+        network = MECNetwork(line_topology(4), {v: 1000.0 for v in range(4)})
+        func = VNFType("f", demand=200.0, reliability=0.8)
+        request = Request("sim", ServiceFunctionChain([func]), expectation=0.9999)
+        problem = AugmentationProblem.build(
+            network, request, [0], radius=3, residuals={v: 1000.0 for v in range(4)}
+        )
+        config = SimulationConfig(horizon=HORIZON, base_delay=0.0, per_hop_delay=0.05)
+        near = simulate_solution(
+            problem,
+            AugmentationSolution.from_assignments(problem, {(0, 1): 1}),
+            config,
+            rng=6,
+        )
+        far = simulate_solution(
+            problem,
+            AugmentationSolution.from_assignments(problem, {(0, 1): 3}),
+            config,
+            rng=6,
+        )
+        assert far.mean_switchover > near.mean_switchover
+
+    def test_mean_switchover_matches_delay_model(self):
+        """Backup at the same cloudlet: every switchover costs base_delay."""
+        problem = _single_function_problem(r=0.8)
+        solution = AugmentationSolution.from_assignments(problem, {(0, 1): 1})
+        config = SimulationConfig(horizon=HORIZON, base_delay=0.02, per_hop_delay=0.5)
+        report = simulate_solution(problem, solution, config, rng=7)
+        if report.failovers == 0:
+            pytest.skip("no failovers drawn")
+        # same-cloudlet failovers cost exactly base_delay; cross-cloudlet
+        # ones (failing back from the co-located backup to the repaired
+        # primary) also have hop distance 0 here -- both instances share
+        # cloudlet 1, so the mean must equal base_delay
+        assert report.mean_switchover == pytest.approx(0.02, rel=1e-6)
+
+
+class TestAccounting:
+    def test_time_conservation(self):
+        problem = _single_function_problem(r=0.7)
+        solution = AugmentationSolution.from_assignments(problem, {(0, 1): 0})
+        report = simulate_solution(
+            problem, solution, SimulationConfig(horizon=1000.0), rng=8
+        )
+        total = report.uptime + report.downtime_dead + report.downtime_switchover
+        assert total == pytest.approx(report.horizon)
+
+    def test_per_position_serving_fractions(self):
+        problem = _single_function_problem(r=0.9)
+        report = simulate_solution(
+            problem, AugmentationSolution.empty(),
+            SimulationConfig(horizon=2000.0, base_delay=0.0, per_hop_delay=0.0),
+            rng=9,
+        )
+        assert len(report.per_position_serving) == 1
+        assert report.per_position_serving[0] == pytest.approx(
+            report.availability, abs=1e-9
+        )
+
+    def test_deterministic_given_seed(self):
+        problem = _single_function_problem(r=0.8)
+        solution = AugmentationSolution.from_assignments(problem, {(0, 1): 0})
+        a = simulate_solution(problem, solution, SimulationConfig(horizon=500.0), rng=10)
+        b = simulate_solution(problem, solution, SimulationConfig(horizon=500.0), rng=10)
+        assert a.availability == b.availability
+        assert a.failovers == b.failovers
+
+    def test_more_backups_higher_availability(self):
+        problem = _single_function_problem(r=0.7)
+        config = SimulationConfig(horizon=HORIZON, base_delay=0.001, per_hop_delay=0.001)
+        prev = -1.0
+        for backups in (0, 1, 3):
+            assignments = {(0, k): 1 for k in range(1, backups + 1)}
+            solution = AugmentationSolution.from_assignments(problem, assignments)
+            report = simulate_solution(problem, solution, config, rng=11)
+            assert report.availability > prev
+            prev = report.availability

@@ -1,0 +1,154 @@
+"""Tests for joint multi-request augmentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.algorithms.ilp_exact import ILPAlgorithm
+from repro.core.problem import AugmentationProblem
+from repro.core.solution import AugmentationSolution
+from repro.core.validation import check_solution
+from repro.experiments.batch import run_joint_comparison
+from repro.experiments.settings import ExperimentSettings
+from repro.netmodel.graph import MECNetwork
+from repro.netmodel.vnf import Request, ServiceFunctionChain, VNFType
+from repro.solvers.multi import solve_joint
+from repro.topology.families import line_topology, star_topology
+from repro.util.errors import ValidationError
+
+
+def _problem(network, residuals, funcs, primaries, expectation, name="j"):
+    request = Request(name, ServiceFunctionChain(funcs), expectation)
+    return AugmentationProblem.build(
+        network, request, primaries, radius=1, residuals=residuals
+    )
+
+
+@pytest.fixture
+def shared_setup():
+    """Two single-function requests competing for one 500-MHz hub."""
+    network = MECNetwork(star_topology(4), {0: 500.0})
+    residuals = {0: 500.0}
+    func = VNFType("f", demand=200.0, reliability=0.8)
+    a = _problem(network, residuals, [func], [0], 0.95, "a")  # needs 1 backup
+    b = _problem(network, residuals, [func], [0], 0.95, "b")
+    return network, residuals, a, b
+
+
+class TestSolveJoint:
+    def test_single_problem_matches_per_request_ilp(self, small_problem):
+        joint = solve_joint([small_problem])
+        single = ILPAlgorithm(stop_at_expectation=False).solve(small_problem)
+        solution = AugmentationSolution.from_assignments(
+            small_problem, joint.assignments[0]
+        )
+        # under "slo", the joint solve meets the expectation iff possible
+        assert joint.met[0] == single.expectation_met or single.expectation_met
+        report = check_solution(small_problem, solution, require_prefix=False)
+        assert report.ok, report.issues
+
+    def test_shared_capacity_respected(self, shared_setup):
+        network, residuals, a, b = shared_setup
+        joint = solve_joint([a, b], residuals=residuals)
+        total_load = 0.0
+        for problem, assignments in zip((a, b), joint.assignments):
+            solution = AugmentationSolution.from_assignments(problem, assignments)
+            total_load += sum(p.demand for p in solution.placements)
+        assert total_load <= residuals[0] + 1e-6
+
+    def test_slo_mode_meets_what_fits(self, shared_setup):
+        """500 MHz fits two 200-demand backups: both requests reach 0.95."""
+        network, residuals, a, b = shared_setup
+        joint = solve_joint([a, b], residuals=residuals)
+        assert joint.met == [True, True]
+
+    def test_scarce_capacity_prioritises_completion(self):
+        """Room for one backup only: SLO mode completes one request rather
+        than half-serving both."""
+        network = MECNetwork(star_topology(4), {0: 250.0})
+        residuals = {0: 250.0}
+        func = VNFType("f", demand=200.0, reliability=0.8)
+        a = _problem(network, residuals, [func], [0], 0.95, "a")
+        b = _problem(network, residuals, [func], [0], 0.95, "b")
+        joint = solve_joint([a, b], residuals=residuals)
+        assert sum(joint.met) == 1
+
+    def test_credit_mode_reports_no_met(self, shared_setup):
+        _net, residuals, a, b = shared_setup
+        joint = solve_joint([a, b], residuals=residuals, objective_mode="credit")
+        assert joint.met == [False, False]
+        assert joint.objective > 0
+
+    def test_credit_capped_at_needed(self, shared_setup):
+        _net, residuals, a, _b = shared_setup
+        import math
+
+        joint = solve_joint([a], residuals=residuals)
+        needed = -math.log(a.baseline_reliability) - a.budget
+        assert joint.credited_gain[0] <= needed + 1e-9
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_joint([])
+
+    def test_unknown_objective_rejected(self, small_problem):
+        with pytest.raises(ValidationError):
+            solve_joint([small_problem], objective_mode="fairness")
+
+    def test_mismatched_residuals_rejected(self, shared_setup):
+        network, _residuals, a, _b = shared_setup
+        func = VNFType("f", demand=200.0, reliability=0.8)
+        other = _problem(network, {0: 400.0}, [func], [0], 0.95)
+        with pytest.raises(ValidationError):
+            solve_joint([a, other], residuals={0: 500.0})
+
+    def test_decoded_solutions_all_validate(self):
+        network = MECNetwork(line_topology(4), {v: 800.0 for v in range(4)})
+        residuals = {v: 800.0 for v in range(4)}
+        f1 = VNFType("x", demand=250.0, reliability=0.75)
+        f2 = VNFType("y", demand=300.0, reliability=0.85)
+        problems = [
+            _problem(network, residuals, [f1, f2], [0, 2], 0.97, "p0"),
+            _problem(network, residuals, [f2], [3], 0.99, "p1"),
+            _problem(network, residuals, [f1], [1], 0.96, "p2"),
+        ]
+        joint = solve_joint(problems, residuals=residuals)
+        loads: dict[int, float] = {}
+        for problem, assignments in zip(problems, joint.assignments):
+            solution = AugmentationSolution.from_assignments(problem, assignments)
+            report = check_solution(problem, solution, require_prefix=False)
+            # per-problem capacity checks pass a fortiori; aggregate below
+            assert not [
+                i for i in report.issues if "overloaded" not in i
+            ], report.issues
+            for p in solution.placements:
+                loads[p.bin] = loads.get(p.bin, 0.0) + p.demand
+        for u, load in loads.items():
+            assert load <= residuals[u] + 1e-6
+
+
+class TestRunJointComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        settings = ExperimentSettings(num_aps=30, cloudlet_fraction=0.2, trials=1)
+        return run_joint_comparison(
+            settings, MatchingHeuristic(), num_requests=6, rng=11
+        )
+
+    def test_joint_dominates_sequential_met(self, comparison):
+        assert comparison.joint_met >= comparison.sequential_met
+
+    def test_counts_consistent(self, comparison):
+        assert 0 <= comparison.sequential_met <= comparison.num_requests
+        assert 0 <= comparison.joint_met <= comparison.num_requests
+
+    def test_reliabilities_in_range(self, comparison):
+        assert 0.0 <= comparison.sequential_mean_reliability <= 1.0
+        assert 0.0 <= comparison.joint_mean_reliability <= 1.0
+
+    def test_deterministic(self):
+        settings = ExperimentSettings(num_aps=30, cloudlet_fraction=0.2, trials=1)
+        a = run_joint_comparison(settings, MatchingHeuristic(), 4, rng=3)
+        b = run_joint_comparison(settings, MatchingHeuristic(), 4, rng=3)
+        assert a == b

@@ -1,0 +1,136 @@
+"""Tests for the deterministic/classic graph families."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.topology.families import (
+    barabasi_albert_topology,
+    complete_topology,
+    erdos_renyi_topology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.util.errors import ValidationError
+
+
+class TestLine:
+    def test_structure(self):
+        graph = line_topology(4)
+        assert set(graph.edges) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            line_topology(0)
+
+
+class TestRing:
+    def test_structure(self):
+        graph = ring_topology(4)
+        assert graph.number_of_edges() == 4
+        assert all(d == 2 for _, d in graph.degree())
+
+    def test_too_small(self):
+        with pytest.raises(ValidationError):
+            ring_topology(2)
+
+
+class TestStar:
+    def test_structure(self):
+        graph = star_topology(5)
+        assert graph.degree(0) == 4
+        assert all(graph.degree(v) == 1 for v in range(1, 5))
+
+    def test_single_node(self):
+        assert star_topology(1).number_of_nodes() == 1
+
+
+class TestComplete:
+    def test_structure(self):
+        graph = complete_topology(5)
+        assert graph.number_of_edges() == 10
+
+
+class TestGrid:
+    def test_structure(self):
+        graph = grid_topology(2, 3)
+        assert graph.number_of_nodes() == 6
+        assert graph.has_edge(0, 1)  # (0,0)-(0,1)
+        assert graph.has_edge(0, 3)  # (0,0)-(1,0)
+        assert not graph.has_edge(0, 4)
+
+    def test_integer_relabelling_row_major(self):
+        graph = grid_topology(3, 4)
+        assert set(graph.nodes) == set(range(12))
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            grid_topology(0, 3)
+
+
+class TestTree:
+    def test_connected_acyclic(self):
+        graph = tree_topology(15, branching=2)
+        assert nx.is_tree(graph)
+
+    def test_branching(self):
+        graph = tree_topology(7, branching=3)
+        assert graph.degree(0) == 3
+
+    def test_invalid_branching(self):
+        with pytest.raises(ValidationError):
+            tree_topology(5, branching=0)
+
+    def test_single_node(self):
+        assert tree_topology(1).number_of_nodes() == 1
+
+
+class TestBarabasiAlbert:
+    def test_connected_and_sized(self):
+        graph = barabasi_albert_topology(60, attachments=2, rng=3)
+        assert graph.number_of_nodes() == 60
+        assert nx.is_connected(graph)
+
+    def test_scale_free_hubs(self):
+        """BA graphs grow hubs: max degree far above the mean."""
+        graph = barabasi_albert_topology(200, attachments=2, rng=5)
+        degrees = [d for _, d in graph.degree()]
+        assert max(degrees) > 3 * (sum(degrees) / len(degrees))
+
+    def test_deterministic(self):
+        a = barabasi_albert_topology(40, rng=7)
+        b = barabasi_albert_topology(40, rng=7)
+        assert set(a.edges) == set(b.edges)
+
+    def test_invalid_attachments(self):
+        with pytest.raises(ValidationError):
+            barabasi_albert_topology(10, attachments=0)
+        with pytest.raises(ValidationError):
+            barabasi_albert_topology(10, attachments=10)
+
+
+class TestErdosRenyi:
+    def test_connected(self):
+        graph = erdos_renyi_topology(40, edge_probability=0.2, rng=1)
+        assert nx.is_connected(graph)
+        assert graph.number_of_nodes() == 40
+
+    def test_deterministic(self):
+        a = erdos_renyi_topology(30, 0.2, rng=5)
+        b = erdos_renyi_topology(30, 0.2, rng=5)
+        assert set(a.edges) == set(b.edges)
+
+    def test_impossible_probability_raises(self):
+        with pytest.raises(ValidationError):
+            erdos_renyi_topology(20, 0.0, rng=1, max_attempts=3)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValidationError):
+            erdos_renyi_topology(10, 1.5)
+
+    def test_single_node(self):
+        assert erdos_renyi_topology(1, 0.5, rng=0).number_of_nodes() == 1

@@ -1,0 +1,132 @@
+"""Tests for the GT-ITM/Waxman topology generator."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology.gtitm import (
+    WaxmanParameters,
+    expected_edge_probability,
+    generate_gtitm_topology,
+)
+from repro.util.errors import ValidationError
+
+
+class TestWaxmanParameters:
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_invalid_alpha(self, alpha):
+        with pytest.raises(ValidationError):
+            WaxmanParameters(alpha=alpha)
+
+    @pytest.mark.parametrize("beta", [0.0, -0.1, 1.5])
+    def test_invalid_beta(self, beta):
+        with pytest.raises(ValidationError):
+            WaxmanParameters(beta=beta)
+
+    def test_defaults_valid(self):
+        params = WaxmanParameters()
+        assert 0 < params.alpha <= 1 and 0 < params.beta <= 1
+
+
+class TestGenerator:
+    def test_node_count_and_connectivity(self):
+        graph = generate_gtitm_topology(100, rng=1)
+        assert graph.number_of_nodes() == 100
+        assert nx.is_connected(graph)
+
+    def test_deterministic(self):
+        a = generate_gtitm_topology(50, rng=7)
+        b = generate_gtitm_topology(50, rng=7)
+        assert set(a.edges) == set(b.edges)
+
+    def test_different_seeds_differ(self):
+        a = generate_gtitm_topology(50, rng=7)
+        b = generate_gtitm_topology(50, rng=8)
+        assert set(a.edges) != set(b.edges)
+
+    def test_single_node(self):
+        graph = generate_gtitm_topology(1, rng=0)
+        assert graph.number_of_nodes() == 1
+        assert graph.number_of_edges() == 0
+
+    def test_two_nodes_connected(self):
+        # connectivity repair must join them even if the Waxman draw fails
+        graph = generate_gtitm_topology(2, rng=0, params=WaxmanParameters(0.01, 0.01))
+        assert nx.is_connected(graph)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValidationError):
+            generate_gtitm_topology(0)
+
+    def test_positions_attached(self):
+        graph = generate_gtitm_topology(10, rng=3)
+        for v in graph.nodes:
+            x, y = graph.nodes[v]["pos"]
+            assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+
+    def test_positions_optional(self):
+        graph = generate_gtitm_topology(10, rng=3, with_positions=False)
+        assert "pos" not in graph.nodes[0]
+
+    def test_degree_plausible_for_paper_settings(self):
+        """100-node default graphs should have a moderate mean degree."""
+        degrees = []
+        for seed in range(5):
+            graph = generate_gtitm_topology(100, rng=seed)
+            degrees.append(2 * graph.number_of_edges() / 100)
+        mean = sum(degrees) / len(degrees)
+        assert 3.0 <= mean <= 15.0
+
+    def test_sparse_params_stay_connected(self):
+        graph = generate_gtitm_topology(60, rng=2, params=WaxmanParameters(0.05, 0.05))
+        assert nx.is_connected(graph)
+
+    def test_edge_statistics_match_model(self):
+        """Empirical connection frequency tracks the Waxman closed form.
+
+        Buckets pairs by distance and compares observed edge frequency to the
+        mean model probability per bucket (loose tolerance; one big draw).
+        """
+        params = WaxmanParameters(alpha=0.5, beta=0.3)
+        rng = np.random.default_rng(11)
+        counts = {}
+        hits = {}
+        trials = 30
+        for _ in range(trials):
+            graph = generate_gtitm_topology(60, params=params, rng=rng)
+            pos = {v: graph.nodes[v]["pos"] for v in graph.nodes}
+            for u in graph.nodes:
+                for v in graph.nodes:
+                    if u >= v:
+                        continue
+                    d = math.dist(pos[u], pos[v])
+                    bucket = min(int(d / 0.2), 4)
+                    counts[bucket] = counts.get(bucket, 0) + 1
+                    hits[bucket] = hits.get(bucket, 0) + int(graph.has_edge(u, v))
+        for bucket in sorted(counts):
+            if counts[bucket] < 500:
+                continue
+            observed = hits[bucket] / counts[bucket]
+            centre = (bucket + 0.5) * 0.2
+            expected = expected_edge_probability(params, centre)
+            # repair edges inflate long-distance buckets slightly; stay loose
+            assert abs(observed - expected) < 0.12, (bucket, observed, expected)
+
+
+class TestExpectedEdgeProbability:
+    def test_zero_distance(self):
+        params = WaxmanParameters(alpha=0.4, beta=0.2)
+        assert expected_edge_probability(params, 0.0) == pytest.approx(0.4)
+
+    def test_decreasing_in_distance(self):
+        params = WaxmanParameters()
+        probs = [expected_edge_probability(params, d) for d in (0.0, 0.3, 0.6, 1.0)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValidationError):
+            expected_edge_probability(WaxmanParameters(), -0.1)

@@ -1,0 +1,79 @@
+"""Tests for cloudlet co-location and capacity assignment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.families import grid_topology, line_topology
+from repro.topology.gtitm import generate_gtitm_topology
+from repro.topology.placement import (
+    CloudletPlacementConfig,
+    assign_cloudlets,
+    build_mec_network,
+    uniform_capacity_network,
+)
+from repro.util.errors import ValidationError
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = CloudletPlacementConfig()
+        assert config.cloudlet_fraction == 0.10
+        assert config.capacity_range == (4000.0, 8000.0)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.2, 1.5])
+    def test_invalid_fraction(self, fraction):
+        with pytest.raises(ValidationError):
+            CloudletPlacementConfig(cloudlet_fraction=fraction)
+
+    def test_invalid_capacity_range(self):
+        with pytest.raises(ValidationError):
+            CloudletPlacementConfig(capacity_range=(0.0, 100.0))
+        with pytest.raises(ValidationError):
+            CloudletPlacementConfig(capacity_range=(200.0, 100.0))
+
+
+class TestAssignCloudlets:
+    def test_count_is_ten_percent(self):
+        graph = generate_gtitm_topology(100, rng=2)
+        capacities = assign_cloudlets(graph, rng=2)
+        assert len(capacities) == 10
+
+    def test_capacities_in_range(self):
+        graph = generate_gtitm_topology(100, rng=2)
+        for capacity in assign_cloudlets(graph, rng=2).values():
+            assert 4000.0 <= capacity <= 8000.0
+
+    def test_at_least_one_cloudlet(self):
+        capacities = assign_cloudlets(line_topology(3), rng=0)
+        assert len(capacities) >= 1
+
+    def test_deterministic(self):
+        graph = grid_topology(5, 5)
+        assert assign_cloudlets(graph, rng=4) == assign_cloudlets(graph, rng=4)
+
+    def test_nodes_are_graph_nodes(self):
+        graph = grid_topology(4, 4)
+        assert set(assign_cloudlets(graph, rng=1)) <= set(graph.nodes)
+
+    def test_custom_fraction(self):
+        graph = grid_topology(10, 10)
+        config = CloudletPlacementConfig(cloudlet_fraction=0.5)
+        assert len(assign_cloudlets(graph, config=config, rng=1)) == 50
+
+
+class TestBuildMecNetwork:
+    def test_full_pipeline(self):
+        graph = generate_gtitm_topology(100, rng=3)
+        network = build_mec_network(graph, rng=3)
+        assert network.num_nodes == 100
+        assert network.num_cloudlets == 10
+
+    def test_uniform_capacity_network(self):
+        network = uniform_capacity_network(line_topology(4), 500.0)
+        assert network.num_cloudlets == 4
+        assert network.capacity(2) == 500.0
+
+    def test_uniform_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            uniform_capacity_network(line_topology(4), 0.0)

@@ -1,0 +1,123 @@
+"""Tests for the transit-stub hierarchical topology generator."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.netmodel.graph import MECNetwork
+from repro.topology.transit_stub import (
+    TransitStubParameters,
+    generate_transit_stub_topology,
+    transit_stub_cloudlets,
+)
+from repro.util.errors import ValidationError
+
+
+class TestParameters:
+    def test_num_nodes(self):
+        params = TransitStubParameters(
+            transit_domains=2,
+            transit_nodes_per_domain=3,
+            stubs_per_transit_node=2,
+            stub_nodes_per_domain=4,
+        )
+        # 6 transit + 6*2 stubs * 4 nodes = 54
+        assert params.num_nodes == 54
+
+    @pytest.mark.parametrize(
+        "field", ["transit_domains", "transit_nodes_per_domain",
+                  "stubs_per_transit_node", "stub_nodes_per_domain"],
+    )
+    def test_positive_required(self, field):
+        with pytest.raises(ValidationError):
+            TransitStubParameters(**{field: 0})
+
+    def test_extra_edges_nonnegative(self):
+        with pytest.raises(ValidationError):
+            TransitStubParameters(extra_stub_transit_edges=-1)
+
+
+class TestGenerator:
+    @pytest.fixture
+    def graph(self):
+        return generate_transit_stub_topology(rng=5)
+
+    def test_connected_and_sized(self, graph):
+        params = TransitStubParameters()
+        assert graph.number_of_nodes() == params.num_nodes
+        assert nx.is_connected(graph)
+
+    def test_roles_assigned(self, graph):
+        roles = {data["role"] for _v, data in graph.nodes(data=True)}
+        assert roles == {"transit", "stub"}
+
+    def test_role_counts(self, graph):
+        params = TransitStubParameters()
+        transit = [v for v, d in graph.nodes(data=True) if d["role"] == "transit"]
+        assert len(transit) == params.transit_domains * params.transit_nodes_per_domain
+
+    def test_domains_recorded(self, graph):
+        kinds = {data["domain"][0] for _v, data in graph.nodes(data=True)}
+        assert kinds == {"transit", "stub"}
+
+    def test_deterministic(self):
+        a = generate_transit_stub_topology(rng=9)
+        b = generate_transit_stub_topology(rng=9)
+        assert set(a.edges) == set(b.edges)
+
+    def test_every_stub_domain_reaches_transit(self, graph):
+        """Removing all intra-stub edges, each stub node still reaches the
+        backbone through its gateway (structural sanity)."""
+        transit = {v for v, d in graph.nodes(data=True) if d["role"] == "transit"}
+        for v in graph.nodes:
+            path = nx.shortest_path_length(graph, v)
+            assert any(t in path for t in transit)
+
+    def test_single_transit_domain(self):
+        graph = generate_transit_stub_topology(
+            TransitStubParameters(transit_domains=1), rng=2
+        )
+        assert nx.is_connected(graph)
+
+    def test_integer_contiguous_labels(self, graph):
+        assert set(graph.nodes) == set(range(graph.number_of_nodes()))
+
+
+class TestCloudletPlacement:
+    def test_transit_nodes_all_cloudlets(self):
+        graph = generate_transit_stub_topology(rng=4)
+        capacities = transit_stub_cloudlets(graph, rng=4)
+        transit = [v for v, d in graph.nodes(data=True) if d["role"] == "transit"]
+        for v in transit:
+            assert capacities[v] >= 4000.0
+
+    def test_stub_cloudlets_smaller(self):
+        graph = generate_transit_stub_topology(rng=4)
+        capacities = transit_stub_cloudlets(graph, stub_fraction=0.2, rng=4)
+        stub_caps = [
+            c for v, c in capacities.items()
+            if graph.nodes[v]["role"] == "stub"
+        ]
+        assert stub_caps  # some stub cloudlets exist at 20%
+        assert all(c <= 4000.0 for c in stub_caps)
+
+    def test_zero_stub_fraction(self):
+        graph = generate_transit_stub_topology(rng=4)
+        capacities = transit_stub_cloudlets(graph, stub_fraction=0.0, rng=4)
+        assert all(graph.nodes[v]["role"] == "transit" for v in capacities)
+
+    def test_invalid_fraction(self):
+        graph = generate_transit_stub_topology(rng=4)
+        with pytest.raises(ValidationError):
+            transit_stub_cloudlets(graph, stub_fraction=1.5)
+
+    def test_invalid_capacity_range(self):
+        graph = generate_transit_stub_topology(rng=4)
+        with pytest.raises(ValidationError):
+            transit_stub_cloudlets(graph, capacity_range=(0.0, 10.0))
+
+    def test_builds_mec_network(self):
+        graph = generate_transit_stub_topology(rng=7)
+        network = MECNetwork(graph, transit_stub_cloudlets(graph, rng=7))
+        assert network.num_cloudlets >= 8

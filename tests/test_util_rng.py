@@ -1,0 +1,60 @@
+"""Tests for RNG plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_rng, derive_seed, spawn_rng
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(42).integers(0, 1 << 30, size=8)
+        b = as_rng(42).integers(0, 1 << 30, size=8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(0, 1 << 30, size=16)
+        b = as_rng(2).integers(0, 1 << 30, size=16)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnRng:
+    def test_spawn_count(self):
+        children = spawn_rng(as_rng(7), 5)
+        assert len(children) == 5
+
+    def test_children_independent_streams(self):
+        children = spawn_rng(as_rng(7), 2)
+        a = children[0].integers(0, 1 << 30, size=16)
+        b = children[1].integers(0, 1 << 30, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_reproducible_from_seed(self):
+        a = [g.integers(0, 1 << 30) for g in spawn_rng(as_rng(3), 4)]
+        b = [g.integers(0, 1 << 30) for g in spawn_rng(as_rng(3), 4)]
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn_rng(as_rng(0), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(as_rng(0), -1)
+
+
+class TestDeriveSeed:
+    def test_range(self):
+        seed = derive_seed(as_rng(11))
+        assert 0 <= seed < 2**63
+
+    def test_deterministic(self):
+        assert derive_seed(as_rng(5)) == derive_seed(as_rng(5))

@@ -1,0 +1,43 @@
+"""Tests for plain-text table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        out = format_table(["a", "b"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "2.5000" in out
+        assert "0.2500" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_floatfmt(self):
+        out = format_table(["x"], [[1.23456]], floatfmt=".2f")
+        assert "1.23" in out
+        assert "1.2346" not in out
+
+    def test_alignment_consistent(self):
+        out = format_table(["col"], [["short"], ["much longer cell"]])
+        lines = out.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every line padded to the same width
+
+    def test_wrong_row_length_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_bools_render_as_words(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "True" in out and "False" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert out.splitlines()[0].strip() == "a"

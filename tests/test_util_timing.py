@@ -1,0 +1,65 @@
+"""Tests for the timing helpers."""
+
+from __future__ import annotations
+
+import time
+
+from repro.util.timing import Stopwatch, time_call, timed
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.01)
+        with sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.02
+        assert sw.laps == 2
+
+    def test_mean(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        with sw:
+            pass
+        assert sw.mean == sw.elapsed / 2
+
+    def test_mean_before_laps_is_zero(self):
+        assert Stopwatch().mean == 0.0
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert sw.laps == 0
+
+    def test_exception_still_recorded(self):
+        sw = Stopwatch()
+        try:
+            with sw:
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert sw.laps == 1
+
+
+class TestTimed:
+    def test_measures_body(self):
+        with timed() as sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.01
+        assert sw.laps == 1
+
+
+class TestTimeCall:
+    def test_returns_result_and_seconds(self):
+        result, seconds = time_call(sum, range(100))
+        assert result == 4950
+        assert seconds >= 0.0
+
+    def test_kwargs_forwarded(self):
+        result, _ = time_call(sorted, [3, 1, 2], reverse=True)
+        assert result == [3, 2, 1]
