@@ -21,6 +21,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.experiments.instances import InstanceSpec, build_instance, differential_suite
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Default trials per point for benches (paper: 1000).
@@ -47,3 +49,20 @@ def emit(results_dir: Path, name: str, text: str) -> None:
     """Print a report table and persist it under benchmarks/results/."""
     print(f"\n{text}\n")
     (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def instance_factory():
+    """The shared seeded-problem factory (same one the tests use).
+
+    Returns :func:`repro.experiments.instances.build_instance`; pair with
+    :class:`InstanceSpec` or :func:`differential_suite` so tests and
+    benchmarks exercise bit-identical instances.
+    """
+    return build_instance
+
+
+@pytest.fixture(scope="session")
+def differential_specs() -> list[InstanceSpec]:
+    """The canonical 50-spec differential stream (same as tests/)."""
+    return list(differential_suite(50))

@@ -13,8 +13,21 @@ A minimum-cost *maximum* matching (Hungarian; see :mod:`repro.matching`)
 places at most one item per cloudlet per round; matched placements are
 committed against a strict :class:`CapacityLedger` (no violation is ever
 possible -- Theorem 6.2), matched items leave ``I``, and the next round's
-graph is rebuilt on the updated residuals.  The loop stops when the
-achieved reliability reaches the expectation ``rho_j`` or no edges remain.
+graph is built on the updated residuals.
+
+Two engines construct the per-round graph (the results are identical; the
+differential suite in ``tests/test_matching_incremental.py`` proves it):
+
+* ``incremental=True`` (default): :class:`repro.matching.incremental.RoundState`
+  maintains the edge set across rounds by applying deltas -- matched items
+  leave, and only cloudlets whose residual crossed a ``c(f_i)`` threshold
+  lose edges -- and reuses the padded matrix buffer.  ``rebuild_every=n``
+  re-derives the structures from scratch every ``n`` rounds as a fallback.
+* ``incremental=False``: the original full-rebuild path, kept verbatim as
+  the differential reference.
+
+The loop stops when the achieved reliability reaches the expectation
+``rho_j`` or no edges remain.
 
 On the stopping rule: the paper's pseudocode tests the *paper-cost* total
 ``c(S) < C`` against the budget ``C = -log rho_j``.  With the cost scale of
@@ -29,6 +42,8 @@ is still tracked and reported in the result metadata.
 
 from __future__ import annotations
 
+import math
+
 from repro.algorithms.base import (
     AugmentationAlgorithm,
     early_exit_result,
@@ -38,7 +53,13 @@ from repro.algorithms.ilp_exact import repair_prefix
 from repro.core.items import BackupItem
 from repro.core.problem import AugmentationProblem
 from repro.core.solution import AugmentationResult, AugmentationSolution, Placement
-from repro.matching.mincost import min_cost_max_matching
+from repro.matching.incremental import RoundState
+from repro.matching.mincost import (
+    MatchingWorkspace,
+    min_cost_max_matching,
+    min_cost_max_matching_arrays,
+)
+from repro.util.errors import ValidationError
 from repro.util.rng import RandomState
 from repro.util.timing import Stopwatch
 
@@ -59,6 +80,16 @@ class MatchingHeuristic(AugmentationAlgorithm):
     max_rounds:
         Safety bound on matching rounds; the paper's analysis gives
         ``O(log N)`` rounds, so the default is generous.
+    incremental:
+        Use the incremental round engine (default True).  ``False`` selects
+        the full-rebuild reference path; both produce identical results.
+    rebuild_every:
+        Incremental engine only: re-derive the round graph from scratch
+        every this-many rounds (``0`` = never, pure delta maintenance).
+    record_trace:
+        Record a per-round trace (placements, cumulative paper cost,
+        reliability) in ``result.meta["round_trace"]`` -- used by the
+        differential tests; off by default to keep results lightweight.
     """
 
     name = "Heuristic"
@@ -68,10 +99,18 @@ class MatchingHeuristic(AugmentationAlgorithm):
         backend: str = "scipy",
         stop_at_expectation: bool = True,
         max_rounds: int = 10_000,
+        incremental: bool = True,
+        rebuild_every: int = 0,
+        record_trace: bool = False,
     ):
+        if rebuild_every < 0:
+            raise ValidationError(f"rebuild_every must be >= 0, got {rebuild_every}")
         self.backend = backend
         self.stop_at_expectation = stop_at_expectation
         self.max_rounds = max_rounds
+        self.incremental = incremental
+        self.rebuild_every = rebuild_every
+        self.record_trace = record_trace
 
     def solve(
         self, problem: AugmentationProblem, rng: RandomState = None
@@ -90,7 +129,10 @@ class MatchingHeuristic(AugmentationAlgorithm):
             )
 
         with Stopwatch() as sw:
-            placements, rounds = self._run_rounds(problem)
+            if self.incremental:
+                placements, rounds, trace = self._run_rounds_incremental(problem)
+            else:
+                placements, rounds, trace = self._run_rounds_rebuild(problem)
             # Re-key to canonical per-position prefixes: an early stop inside
             # a round can otherwise leave e.g. k=2 committed without k=1.
             assignments = repair_prefix(
@@ -98,22 +140,109 @@ class MatchingHeuristic(AugmentationAlgorithm):
             )
             solution = AugmentationSolution.from_assignments(problem, assignments)
 
+        meta: dict[str, object] = {
+            "rounds": rounds,
+            "paper_cost_total": solution.total_cost,
+            "engine": "incremental" if self.incremental else "rebuild",
+        }
+        if self.record_trace:
+            meta["round_trace"] = trace
         return finalize_result(
             problem,
             solution,
             algorithm=self.name,
             runtime_seconds=sw.elapsed,
             stop_at_expectation=self.stop_at_expectation,
-            meta={"rounds": rounds, "paper_cost_total": solution.total_cost},
+            meta=meta,
         )
 
     # -- internals ----------------------------------------------------------------
-    def _run_rounds(self, problem: AugmentationProblem) -> tuple[list[Placement], int]:
+    def _trace_entry(
+        self,
+        problem: AugmentationProblem,
+        round_placements: list[Placement],
+        counts: list[int],
+    ) -> dict[str, object]:
+        return {
+            "placed": tuple((p.position, p.k, p.bin) for p in round_placements),
+            "paper_cost": sum(p.cost for p in round_placements),
+            "reliability": problem.reliability_from_counts(counts),
+        }
+
+    def _run_rounds_incremental(
+        self, problem: AugmentationProblem
+    ) -> tuple[list[Placement], int, list[dict[str, object]]]:
+        """The incremental engine: delta-maintained ``G_l`` + buffer reuse."""
+        ledger = problem.ledger()
+        state = RoundState(problem, ledger, rebuild_every=self.rebuild_every)
+        workspace = MatchingWorkspace()
+        items = problem.items
+        placements: list[Placement] = []
+        counts = [0] * problem.request.chain.length
+        rounds = 0
+        trace: list[dict[str, object]] = []
+        meets = problem.request.meets_expectation
+        stop_at_expectation = self.stop_at_expectation
+        # Current per-position reliability factors R_i(counts[i]); their
+        # left-to-right product (math.prod) is bit-identical to
+        # problem.reliability_from_counts(counts).
+        ladders = state.reliability_ladders
+        factors = [ladder[0] for ladder in ladders]
+        prod = math.prod
+
+        def expectation_reached() -> bool:
+            return stop_at_expectation and meets(prod(factors))
+
+        while rounds < self.max_rounds and state.has_items and not expectation_reached():
+            rows, cols, edge_rows, edge_cols, edge_costs = state.build_edges()
+            if not edge_costs:
+                break
+
+            matching = min_cost_max_matching_arrays(
+                len(rows), len(cols), edge_rows, edge_cols, edge_costs,
+                backend=self.backend, workspace=workspace,
+            )
+            if not matching:  # pragma: no cover - edges imply a non-empty matching
+                break
+            rounds += 1
+
+            # Commit cheapest-first so a mid-round expectation stop keeps the
+            # highest-gain (lowest-k) items, preserving the prefix structure.
+            matching.sort(key=lambda e: e.cost)
+            touched: list[int] = []
+            matched_indices: list[int] = []
+            round_placements: list[Placement] = []
+            for edge in matching:
+                item_index = cols[edge.col]
+                item = items[item_index]
+                u = rows[edge.row]
+                ledger.allocate(u, item.demand, tag=f"{item.function_name}#{item.k}")
+                placement = Placement.of(item, u)
+                placements.append(placement)
+                round_placements.append(placement)
+                position = item.position
+                counts[position] += 1
+                factors[position] = ladders[position][counts[position]]
+                matched_indices.append(item_index)
+                touched.append(u)
+                if expectation_reached():
+                    break
+            state.apply_round(touched, matched_indices)
+            if self.record_trace:
+                trace.append(self._trace_entry(problem, round_placements, counts))
+
+        return placements, rounds, trace
+
+    def _run_rounds_rebuild(
+        self, problem: AugmentationProblem
+    ) -> tuple[list[Placement], int, list[dict[str, object]]]:
+        """The original full-rebuild path (the differential reference)."""
         ledger = problem.ledger()
         remaining: list[BackupItem] = list(problem.items)
         placements: list[Placement] = []
         counts = [0] * problem.request.chain.length
         rounds = 0
+        trace: list[dict[str, object]] = []
 
         def expectation_reached() -> bool:
             return self.stop_at_expectation and problem.request.meets_expectation(
@@ -144,11 +273,14 @@ class MatchingHeuristic(AugmentationAlgorithm):
             # highest-gain (lowest-k) items, preserving the prefix structure.
             matching.sort(key=lambda e: e.cost)
             matched_cols: set[int] = set()
+            round_placements: list[Placement] = []
             for edge in matching:
                 item = remaining[edge.col]
                 u = cloudlets[edge.row]
                 ledger.allocate(u, item.demand, tag=f"{item.function_name}#{item.k}")
-                placements.append(Placement.of(item, u))
+                placement = Placement.of(item, u)
+                placements.append(placement)
+                round_placements.append(placement)
                 counts[item.position] += 1
                 matched_cols.add(edge.col)
                 if expectation_reached():
@@ -156,5 +288,7 @@ class MatchingHeuristic(AugmentationAlgorithm):
             remaining = [
                 it for c, it in enumerate(remaining) if c not in matched_cols
             ]
+            if self.record_trace:
+                trace.append(self._trace_entry(problem, round_placements, counts))
 
-        return placements, rounds
+        return placements, rounds, trace

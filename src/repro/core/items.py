@@ -40,10 +40,82 @@ import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.core.reliability import cumulative_gain, item_gain, paper_cost
+from repro.core.reliability import (
+    cumulative_gain,
+    function_reliability,
+    item_gain,
+    paper_cost,
+)
 from repro.netmodel.neighborhoods import NeighborhoodIndex
 from repro.netmodel.vnf import Request
 from repro.util.errors import ValidationError
+
+# -- memoized per-function ladders -------------------------------------------------
+#
+# The Eq. 3 cost ``c(f_i, k, u) = -log(r_i (1-r_i)^k)`` depends only on
+# ``(r_i, k)`` -- not on residuals, bins, or the round -- and the same holds
+# for the gain ``g_i(k)`` and the accumulative reliability ``R_i(k)``.  The
+# ladders below are therefore computed once per instance reliability and
+# shared across items, problems, and batch requests drawn from one catalog.
+# Entries are produced by the exact same scalar functions as before, so
+# cached and uncached values are bit-identical.
+
+_LADDER_CACHES: dict[str, dict[float, list[float]]] = {
+    "cost": {},
+    "gain": {},
+    "reliability": {},
+}
+
+
+def _extend_ladder(kind: str, r: float, length: int, compute) -> list[float]:
+    cache = _LADDER_CACHES[kind]
+    ladder = cache.get(r)
+    if ladder is None:
+        ladder = cache[r] = []
+    while len(ladder) < length:
+        ladder.append(compute(len(ladder)))
+    return ladder
+
+
+def paper_cost_ladder(reliability: float, k_max: int) -> tuple[float, ...]:
+    """Paper costs ``c(f, k, .)`` for ``k = 1..k_max``, memoized per ``r``.
+
+    ``paper_cost_ladder(r, k)[k - 1] == paper_cost(r, k)`` exactly.
+    """
+    if k_max < 0:
+        raise ValidationError(f"k_max must be >= 0, got {k_max}")
+    ladder = _extend_ladder(
+        "cost", reliability, k_max, lambda n: paper_cost(reliability, n + 1)
+    )
+    return tuple(ladder[:k_max])
+
+
+def gain_ladder(reliability: float, k_max: int) -> tuple[float, ...]:
+    """Solver gains ``g(f, k)`` for ``k = 1..k_max``, memoized per ``r``.
+
+    ``gain_ladder(r, k)[k - 1] == item_gain(r, k)`` exactly.
+    """
+    if k_max < 0:
+        raise ValidationError(f"k_max must be >= 0, got {k_max}")
+    ladder = _extend_ladder(
+        "gain", reliability, k_max, lambda n: item_gain(reliability, n + 1)
+    )
+    return tuple(ladder[:k_max])
+
+
+def reliability_ladder(reliability: float, k_max: int) -> tuple[float, ...]:
+    """``R(f, k)`` for ``k = 0..k_max``, memoized per ``r``.
+
+    ``reliability_ladder(r, k)[k] == function_reliability(r, k)`` exactly;
+    the incremental matching engine uses these for its expectation checks.
+    """
+    if k_max < 0:
+        raise ValidationError(f"k_max must be >= 0, got {k_max}")
+    ladder = _extend_ladder(
+        "reliability", reliability, k_max + 1,
+        lambda n: function_reliability(reliability, n),
+    )
+    return tuple(ladder[: k_max + 1])
 
 
 @dataclass(frozen=True)
@@ -197,8 +269,10 @@ def generate_items(
         if config.max_backups_per_function is not None:
             k_max = min(k_max, config.max_backups_per_function)
 
+        gains = gain_ladder(func.reliability, k_max)
+        costs = paper_cost_ladder(func.reliability, k_max)
         for k in range(1, k_max + 1):
-            gain = item_gain(func.reliability, k)
+            gain = gains[k - 1]
             if config.gain_floor is not None and gain < config.gain_floor:
                 break  # gains are decreasing in k; nothing further survives
             items.append(
@@ -208,7 +282,7 @@ def generate_items(
                     function_name=func.name,
                     demand=func.demand,
                     gain=gain,
-                    cost=paper_cost(func.reliability, k),
+                    cost=costs[k - 1],
                     bins=candidate_bins,
                 )
             )

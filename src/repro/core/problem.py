@@ -114,18 +114,28 @@ class AugmentationProblem:
         radius: int = 1,
         residuals: Mapping[int, float] | None = None,
         item_config: ItemGenerationConfig | None = None,
+        neighborhoods: NeighborhoodIndex | None = None,
     ) -> "AugmentationProblem":
         """Generate items and assemble a problem instance.
 
         ``residuals`` defaults to full capacity minus the primaries (the
         admission-driven convention); the experiment harness passes scaled
-        residual maps explicitly.
+        residual maps explicitly.  ``neighborhoods`` lets a caller hoist one
+        (lazily memoized) index across many requests on the same topology --
+        e.g. a request stream in :mod:`repro.experiments.batch`; it must
+        have been built for the same ``radius``.
         """
         if residuals is None:
             residuals = residuals_after_primaries(network, request, primary_placement)
         else:
             residuals = dict(residuals)
-        neighborhoods = network.neighborhoods(radius)
+        if neighborhoods is None:
+            neighborhoods = network.neighborhoods(radius)
+        elif neighborhoods.radius != radius:
+            raise ValidationError(
+                f"neighborhood index built for radius {neighborhoods.radius}, "
+                f"problem radius is {radius}"
+            )
         items = generate_items(
             request, primary_placement, neighborhoods, residuals, config=item_config
         )

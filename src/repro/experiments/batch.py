@@ -146,10 +146,15 @@ def run_joint_comparison(
         placements.append(primaries)
     shared_residuals = ledger.residuals()
 
+    # One lazily-memoized neighborhood index serves every request of the
+    # batch: the cloudlet-restricted sets N_l^+(v) of a primary location are
+    # computed on first use and shared across requests and both sides.
+    neighborhoods = network.neighborhoods(settings.radius)
     problems = [
         AugmentationProblem.build(
             network, request, primaries,
             radius=settings.radius, residuals=shared_residuals,
+            neighborhoods=neighborhoods,
         )
         for request, primaries in zip(requests, placements)
     ]
@@ -165,6 +170,7 @@ def run_joint_comparison(
             problem.primary_placement,
             radius=problem.radius,
             residuals=seq_ledger.residuals(),
+            neighborhoods=neighborhoods,
         )
         result = algorithm.solve(live, rng=gen)
         for placement in result.solution.placements:
@@ -222,6 +228,9 @@ def run_request_stream(
         rng=gen,
     )
     ledger = CapacityLedger({v: network.capacity(v) for v in network.cloudlets})
+    # Hoisted across the stream: each primary location's N_l^+(v) is BFS'd
+    # once, on first use, and every later request reuses the memoized set.
+    neighborhoods = network.neighborhoods(settings.radius)
 
     report = BatchReport()
     for index in range(num_requests):
@@ -247,6 +256,7 @@ def run_request_stream(
             primaries,
             radius=settings.radius,
             residuals=ledger.residuals(),
+            neighborhoods=neighborhoods,
         )
         result = algorithm.solve(problem, rng=gen)
         # commit the augmentation onto the shared ledger

@@ -1,0 +1,170 @@
+"""Shared seeded-instance factory for tests and benchmarks.
+
+Differential tests, fuzzers, and benchmarks all need the same thing: a
+deterministic stream of small-but-varied :class:`AugmentationProblem`
+instances spanning topology families, chain lengths, and locality radii.
+Before this module existed, each consumer rolled its own generation loop --
+which meant the differential suite and the benchmarks silently exercised
+*different* instances.  Now there is exactly one recipe:
+
+* :data:`TOPOLOGY_FAMILIES` -- named topology builders ``(n, rng) -> graph``;
+* :class:`InstanceSpec` -- a frozen, hashable description of one instance
+  (family, sizes, radius, residual scale, seed); its ``seed`` drives every
+  random draw, so a spec rebuilds the bit-identical problem anywhere;
+* :func:`build_instance` -- spec to :class:`AugmentationProblem`;
+* :func:`differential_suite` -- the canonical spec stream used by the
+  incremental-vs-rebuild differential tests and the benchmark smoke mode.
+
+``tests/conftest.py`` and ``benchmarks/conftest.py`` both expose these via
+fixtures, so "the 50-instance differential suite" means the same 50
+problems in either tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, Mapping
+
+import networkx as nx
+import numpy as np
+
+from repro.core.items import ItemGenerationConfig
+from repro.core.problem import AugmentationProblem
+from repro.netmodel.graph import MECNetwork
+from repro.netmodel.vnf import Request, ServiceFunctionChain, VNFType
+from repro.topology.families import (
+    barabasi_albert_topology,
+    erdos_renyi_topology,
+    grid_topology,
+    ring_topology,
+    tree_topology,
+)
+from repro.topology.gtitm import generate_gtitm_topology
+from repro.util.errors import ValidationError
+from repro.util.rng import as_rng
+
+#: Named topology builders ``(num_nodes, rng) -> nx.Graph``.
+TOPOLOGY_FAMILIES: dict[str, Callable[[int, np.random.Generator], "nx.Graph"]] = {
+    "waxman": lambda n, rng: generate_gtitm_topology(n, rng=rng),
+    "er": lambda n, rng: erdos_renyi_topology(n, 0.25, rng=rng),
+    "ba": lambda n, rng: barabasi_albert_topology(n, 2, rng=rng),
+    "grid": lambda n, rng: grid_topology(max(2, int(n**0.5)), max(2, int(n**0.5))),
+    "ring": lambda n, rng: ring_topology(max(3, n)),
+    "tree": lambda n, rng: tree_topology(n, branching=2),
+}
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """Deterministic description of one random augmentation instance.
+
+    Every random draw flows from ``seed``, so equal specs build
+    bit-identical problems in any process.
+    """
+
+    family: str = "waxman"
+    num_nodes: int = 16
+    cloudlet_count: int = 4
+    chain_length: int = 3
+    radius: int = 1
+    residual_scale: float = 0.5
+    seed: int = 0
+    max_backups: int | None = 6
+
+    def __post_init__(self) -> None:
+        if self.family not in TOPOLOGY_FAMILIES:
+            raise ValidationError(
+                f"unknown topology family {self.family!r}; "
+                f"choose from {sorted(TOPOLOGY_FAMILIES)}"
+            )
+        if self.num_nodes < 2:
+            raise ValidationError(f"num_nodes must be >= 2, got {self.num_nodes}")
+        if self.cloudlet_count < 1:
+            raise ValidationError(
+                f"cloudlet_count must be >= 1, got {self.cloudlet_count}"
+            )
+        if self.chain_length < 1:
+            raise ValidationError(f"chain_length must be >= 1, got {self.chain_length}")
+        if self.radius < 0:
+            raise ValidationError(f"radius must be >= 0, got {self.radius}")
+        if not 0.0 < self.residual_scale <= 1.0:
+            raise ValidationError(
+                f"residual_scale must be in (0, 1], got {self.residual_scale}"
+            )
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, object]) -> "InstanceSpec":
+        """Build a spec from a plain mapping (e.g. a hypothesis-drawn dict
+        or a JSON corpus entry); unknown keys are rejected."""
+        return cls(**dict(config))
+
+
+def build_instance(spec: InstanceSpec) -> AugmentationProblem:
+    """Materialise the :class:`AugmentationProblem` a spec describes.
+
+    Topology, cloudlet selection, capacities, VNF types, expectation, and
+    primary placement are all drawn from ``as_rng(spec.seed)`` in a fixed
+    order -- the construction is deterministic per spec.
+    """
+    gen = as_rng(spec.seed)
+    graph = TOPOLOGY_FAMILIES[spec.family](spec.num_nodes, gen)
+    nodes = sorted(graph.nodes)
+    cloudlet_count = min(spec.cloudlet_count, len(nodes))
+    chosen = gen.choice(len(nodes), size=cloudlet_count, replace=False)
+    capacities = {nodes[int(i)]: float(gen.uniform(400, 1600)) for i in chosen}
+    network = MECNetwork(graph, capacities)
+    types = [
+        VNFType(
+            f"f{i}",
+            demand=float(gen.uniform(80, 400)),
+            reliability=float(gen.uniform(0.5, 0.98)),
+        )
+        for i in range(spec.chain_length)
+    ]
+    request = Request(
+        "fuzz",
+        ServiceFunctionChain(types),
+        expectation=float(gen.uniform(0.85, 0.999)),
+    )
+    cloudlets = list(network.cloudlets)
+    primaries = [
+        cloudlets[int(gen.integers(0, len(cloudlets)))]
+        for _ in range(spec.chain_length)
+    ]
+    residuals = {v: capacities[v] * spec.residual_scale for v in capacities}
+    return AugmentationProblem.build(
+        network,
+        request,
+        primaries,
+        radius=spec.radius,
+        residuals=residuals,
+        item_config=ItemGenerationConfig(max_backups_per_function=spec.max_backups),
+    )
+
+
+def differential_suite(count: int, base_seed: int = 7000) -> Iterator[InstanceSpec]:
+    """The canonical spec stream of the differential suite.
+
+    Cycles topology families, chain lengths, radii, and residual scales so
+    any prefix of the stream already mixes all axes; ``count`` specs with
+    seeds ``base_seed .. base_seed + count - 1``.
+    """
+    families = sorted(TOPOLOGY_FAMILIES)
+    lengths = (1, 2, 3, 4, 6)
+    radii = (0, 1, 2, 3)
+    scales = (0.25, 0.5, 1.0)
+    for i in range(count):
+        yield InstanceSpec(
+            family=families[i % len(families)],
+            num_nodes=10 + (3 * i) % 15,
+            cloudlet_count=2 + i % 4,
+            chain_length=lengths[i % len(lengths)],
+            radius=radii[i % len(radii)],
+            residual_scale=scales[i % len(scales)],
+            seed=base_seed + i,
+        )
+
+
+def vary(spec: InstanceSpec, **changes: object) -> InstanceSpec:
+    """A copy of ``spec`` with fields replaced (validation re-runs)."""
+    return replace(spec, **changes)

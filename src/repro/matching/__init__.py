@@ -11,14 +11,29 @@ provides:
   reduces min-cost *maximum* matching with forbidden edges to a padded
   square assignment problem, solvable by either the from-scratch solver or
   :func:`scipy.optimize.linear_sum_assignment` (used as the default backend
-  for speed; the two are cross-validated in the test suite).
+  for speed; the two are cross-validated in the test suite);
+* :func:`~repro.matching.mincost.min_cost_max_matching_arrays` -- the
+  array-based entry point used by the incremental engine, with a reusable
+  :class:`~repro.matching.mincost.MatchingWorkspace` matrix buffer;
+* :class:`~repro.matching.incremental.RoundState` -- the incremental round
+  engine for Algorithm 2's hot path: static edge universe, delta-maintained
+  residuals, bit-identical to rebuilding ``G_l`` from scratch every round.
 """
 
 from repro.matching.hungarian import solve_assignment
-from repro.matching.mincost import MatchEdge, min_cost_max_matching
+from repro.matching.incremental import RoundState
+from repro.matching.mincost import (
+    MatchEdge,
+    MatchingWorkspace,
+    min_cost_max_matching,
+    min_cost_max_matching_arrays,
+)
 
 __all__ = [
     "MatchEdge",
+    "MatchingWorkspace",
+    "RoundState",
     "min_cost_max_matching",
+    "min_cost_max_matching_arrays",
     "solve_assignment",
 ]

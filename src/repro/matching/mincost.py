@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment
@@ -116,3 +116,104 @@ def min_cost_max_matching(
 def matching_cardinality_and_cost(matching: list[MatchEdge]) -> tuple[int, float]:
     """``(cardinality, total cost)`` of a matching (testing helper)."""
     return len(matching), sum(e.cost for e in matching)
+
+
+class MatchingWorkspace:
+    """Reusable buffer for the padded assignment matrix.
+
+    Algorithm 2 solves one matching per round on matrices whose size only
+    shrinks as items are placed; reallocating an ``(n+m) x (n+m)`` array per
+    round is wasted work.  The workspace keeps one float buffer and hands
+    out a ``size x size`` view, growing the buffer only when a larger round
+    appears.  Values are always fully overwritten before use, so reuse never
+    leaks state between rounds.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer: np.ndarray | None = None
+
+    def matrix(self, size: int) -> np.ndarray:
+        """A ``size x size`` float view, backed by the reusable buffer.
+
+        The buffer is flat and the view a reshape of its prefix, so the
+        returned matrix is always C-contiguous -- smaller-than-buffer rounds
+        do not pay strided fills or a contiguity copy inside the solver.
+        """
+        needed = size * size
+        buf = self._buffer
+        if buf is None or buf.size < needed:
+            buf = self._buffer = np.empty(needed, dtype=float)
+        return buf[:needed].reshape(size, size)
+
+
+def min_cost_max_matching_arrays(
+    n_rows: int,
+    n_cols: int,
+    edge_rows: Sequence[int],
+    edge_cols: Sequence[int],
+    edge_costs: Sequence[float],
+    backend: str = "scipy",
+    workspace: MatchingWorkspace | None = None,
+) -> list[MatchEdge]:
+    """Fast-path :func:`min_cost_max_matching` over pre-validated edge arrays.
+
+    Callers (the incremental round engine) maintain the edge set across
+    rounds and already know indices are in range, costs are finite, and
+    ``(row, col)`` pairs are unique, so the per-edge validation of the
+    mapping-based entry point is skipped and the padded matrix can be
+    written into a reusable :class:`MatchingWorkspace` buffer.
+
+    Equivalence guarantee: for the same edges in the same order, this
+    returns the bit-identical matching of
+    ``min_cost_max_matching(n_rows, n_cols, dict(zip(zip(edge_rows,
+    edge_cols), edge_costs)), backend)`` -- the pad value ``B`` is the same
+    ordered float sum, the padded matrix is element-wise identical, and the
+    decode accepts exactly the real-edge cells (a real cell holds ``B`` iff
+    it is not an edge, since every edge cost is strictly below ``B``).
+    """
+    if backend not in BACKENDS:
+        raise ValidationError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if n_rows == 0 or n_cols == 0 or not edge_costs:
+        return []
+
+    # abs() is the identity on the non-negative costs Algorithm 2 produces,
+    # so the plain ordered sum is bit-identical to sum(abs(c) for c in ...)
+    # there; the abs pass only runs when a negative cost appears.
+    if min(edge_costs) >= 0.0:
+        big = sum(edge_costs) + 1.0
+    else:
+        big = sum(abs(c) for c in edge_costs) + 1.0
+    size = n_rows + n_cols
+    matrix = workspace.matrix(size) if workspace is not None else np.empty((size, size))
+    matrix.fill(big)
+    matrix[n_rows:, n_cols:] = 0.0
+    matrix[edge_rows, edge_cols] = edge_costs
+
+    if backend == "scipy":
+        rows, cols = linear_sum_assignment(matrix)
+        # Vectorised decode: keep real-block cells holding a true edge cost
+        # (a real cell equals ``big`` iff it is not an edge, since every edge
+        # cost is strictly below ``big``).  scipy returns rows ascending, so
+        # the result is already sorted by row.
+        real = (rows < n_rows) & (cols < n_cols)
+        rr, cc = rows[real], cols[real]
+        costs = matrix[rr, cc]
+        edge = costs < big
+        return [
+            MatchEdge(r, c, cost)
+            for r, c, cost in zip(
+                rr[edge].tolist(), cc[edge].tolist(), costs[edge].tolist()
+            )
+        ]
+
+    assignment, _ = solve_assignment(matrix)
+    matched: list[MatchEdge] = []
+    for r, c in enumerate(assignment):
+        if r < n_rows and c < n_cols:
+            cost = float(matrix[r, int(c)])
+            if cost < big:
+                matched.append(MatchEdge(r, int(c), cost))
+    matched.sort(key=lambda e: e.row)
+    return matched

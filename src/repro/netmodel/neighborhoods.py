@@ -5,11 +5,18 @@ Section 3 defines ``N_l(v)`` as the set of nodes within ``l`` hops of ``v``
 constraint of the augmentation problem says every secondary instance of a
 primary placed at cloudlet ``v`` must live on a *cloudlet* in ``N_l^+(v)``.
 
-:class:`NeighborhoodIndex` precomputes, for one radius ``l``, the neighbor
-sets of every node by truncated breadth-first search, and additionally the
-cloudlet-restricted sets the algorithms actually consume.  Radius ``None`` is
-not supported here -- the "unrestricted placement" baseline simply uses
-``radius = |V| - 1``, which reaches the whole (connected) graph.
+:class:`NeighborhoodIndex` serves, for one radius ``l``, the neighbor sets
+of every node by truncated breadth-first search, and additionally the
+cloudlet-restricted sets the algorithms actually consume.  Sets are computed
+*lazily* -- the BFS from a node runs on first access and is memoized -- so
+a batch of requests touching a handful of primaries never pays for the
+whole graph, while repeated requests on one topology share every set ever
+computed (the index itself is cached per radius by
+:meth:`MECNetwork.neighborhoods` and can be hoisted explicitly through
+:meth:`AugmentationProblem.build`'s ``neighborhoods`` argument).  Radius
+``None`` is not supported here -- the "unrestricted placement" baseline
+simply uses ``radius = |V| - 1``, which reaches the whole (connected)
+graph.
 """
 
 from __future__ import annotations
@@ -43,7 +50,13 @@ def bfs_within(graph: nx.Graph, source: int, radius: int) -> dict[int, int]:
 
 
 class NeighborhoodIndex:
-    """Precomputed ``l``-hop neighborhoods of every node of a graph.
+    """Lazily computed ``l``-hop neighborhoods of the nodes of a graph.
+
+    The truncated BFS from a node runs on first access to that node's set
+    and is memoized; the cloudlet-restricted lists are likewise derived on
+    demand.  Accessors therefore cost one BFS the first time and a dict
+    lookup afterwards, and an index shared across a batch of requests
+    accumulates exactly the sets the batch touches.
 
     Parameters
     ----------
@@ -52,8 +65,8 @@ class NeighborhoodIndex:
     radius:
         The locality radius ``l >= 0``.
     cloudlets:
-        Optional iterable of cloudlet node ids; when given, the index also
-        materialises the cloudlet-restricted neighbor lists used for
+        Optional iterable of cloudlet node ids; when given, the index can
+        also serve the cloudlet-restricted neighbor lists used for
         secondary placement.
     """
 
@@ -65,19 +78,12 @@ class NeighborhoodIndex:
     ):
         if radius < 0:
             raise ValueError(f"radius must be >= 0, got {radius}")
+        self._graph = graph
         self._radius = radius
-        cloudlet_set = set(cloudlets) if cloudlets is not None else None
-
+        self._nodes = set(graph.nodes)
+        self._cloudlet_set = set(cloudlets) if cloudlets is not None else None
         self._closed: dict[int, frozenset[int]] = {}
         self._closed_cloudlets: dict[int, tuple[int, ...]] = {}
-        for v in graph.nodes:
-            reach = bfs_within(graph, v, radius)
-            closed = frozenset(reach)
-            self._closed[v] = closed
-            if cloudlet_set is not None:
-                self._closed_cloudlets[v] = tuple(
-                    sorted(u for u in closed if u in cloudlet_set)
-                )
 
     @property
     def radius(self) -> int:
@@ -86,10 +92,14 @@ class NeighborhoodIndex:
 
     def closed(self, v: int) -> frozenset[int]:
         """``N_l^+(v)`` -- nodes within ``l`` hops of ``v``, including ``v``."""
-        try:
-            return self._closed[v]
-        except KeyError:
-            raise KeyError(f"unknown node {v!r}") from None
+        closed = self._closed.get(v)
+        if closed is None:
+            if v not in self._nodes:
+                raise KeyError(f"unknown node {v!r}")
+            closed = self._closed[v] = frozenset(
+                bfs_within(self._graph, v, self._radius)
+            )
+        return closed
 
     def open(self, v: int) -> frozenset[int]:
         """``N_l(v)`` -- nodes within ``l`` hops of ``v``, excluding ``v``."""
@@ -99,13 +109,18 @@ class NeighborhoodIndex:
         """Cloudlets in ``N_l^+(v)`` -- the candidate bins for secondaries of a
         primary placed at ``v``.  Requires the index to have been built with
         a ``cloudlets`` argument."""
-        try:
-            return self._closed_cloudlets[v]
-        except KeyError:
-            raise KeyError(
-                f"no cloudlet-restricted neighborhood for node {v!r}; "
-                "was the index built with cloudlets?"
-            ) from None
+        bins = self._closed_cloudlets.get(v)
+        if bins is None:
+            if self._cloudlet_set is None:
+                raise KeyError(
+                    f"no cloudlet-restricted neighborhood for node {v!r}; "
+                    "was the index built with cloudlets?"
+                )
+            cloudlet_set = self._cloudlet_set
+            bins = self._closed_cloudlets[v] = tuple(
+                sorted(u for u in self.closed(v) if u in cloudlet_set)
+            )
+        return bins
 
     def contains(self, v: int, u: int) -> bool:
         """Whether ``u ∈ N_l^+(v)``."""
@@ -117,8 +132,8 @@ class NeighborhoodIndex:
         return len(self.closed(v)) - 1
 
     def degree_bounds(self) -> tuple[int, int]:
-        """``(d_min, d_max)`` over all indexed nodes."""
-        degrees = [len(s) - 1 for s in self._closed.values()]
+        """``(d_min, d_max)`` over all nodes (materialises every set)."""
+        degrees = [len(self.closed(v)) - 1 for v in self._nodes]
         return (min(degrees), max(degrees))
 
 

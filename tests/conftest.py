@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.problem import AugmentationProblem
+from repro.experiments.instances import InstanceSpec, build_instance, differential_suite
 from repro.experiments.settings import ExperimentSettings
 from repro.experiments.workload import make_trial
 from repro.netmodel.graph import MECNetwork
@@ -84,3 +85,20 @@ def tiny_settings() -> ExperimentSettings:
 def paper_trial(tiny_settings: ExperimentSettings):
     """One full workload trial on the shrunk settings."""
     return make_trial(tiny_settings, rng=99)
+
+
+@pytest.fixture(scope="session")
+def instance_factory():
+    """The shared seeded-problem factory (same one the benchmarks use).
+
+    Returns :func:`repro.experiments.instances.build_instance`; pair with
+    :class:`InstanceSpec` or :func:`differential_suite` so tests and
+    benchmarks exercise bit-identical instances.
+    """
+    return build_instance
+
+
+@pytest.fixture(scope="session")
+def differential_specs() -> list[InstanceSpec]:
+    """The canonical 50-spec differential stream."""
+    return list(differential_suite(50))

@@ -6,9 +6,20 @@ generation, placement, item generation, all feasible-solution algorithms,
 and independent validation.  The property is uniform: whatever the
 configuration, every algorithm returns a validated solution that weakly
 improves the baseline, and the exact ILP dominates the rest.
+
+Instance generation lives in :mod:`repro.experiments.instances` -- the same
+factory the differential tests and benchmarks use -- so a failing
+configuration here replays everywhere.  The Theorem 6.2 class additionally
+replays every fuzz case from the seed corpus at
+``tests/data/fuzz_seed_corpus.json``: plain JSON specs, parametrized one
+test per entry, so a regression reproduces deterministically without
+hypothesis in the loop.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import pytest
 from hypothesis import given, settings
@@ -18,33 +29,24 @@ from repro.algorithms.baselines import GreedyGain
 from repro.algorithms.heuristic import MatchingHeuristic
 from repro.algorithms.ilp_exact import ILPAlgorithm
 from repro.algorithms.repair import RepairedRandomizedRounding
-from repro.core.items import ItemGenerationConfig
 from repro.core.problem import AugmentationProblem
+from repro.core.solution import AugmentationResult
 from repro.core.validation import check_solution
-from repro.netmodel.graph import MECNetwork
-from repro.netmodel.vnf import Request, ServiceFunctionChain, VNFType
-from repro.topology.families import (
-    barabasi_albert_topology,
-    erdos_renyi_topology,
-    grid_topology,
-    ring_topology,
-    tree_topology,
+from repro.experiments.instances import (
+    TOPOLOGY_FAMILIES,
+    InstanceSpec,
+    build_instance,
 )
-from repro.topology.gtitm import generate_gtitm_topology
-from repro.util.rng import as_rng
 
-FAMILIES = {
-    "waxman": lambda n, rng: generate_gtitm_topology(n, rng=rng),
-    "er": lambda n, rng: erdos_renyi_topology(n, 0.25, rng=rng),
-    "ba": lambda n, rng: barabasi_albert_topology(n, 2, rng=rng),
-    "grid": lambda n, rng: grid_topology(max(2, int(n**0.5)), max(2, int(n**0.5))),
-    "ring": lambda n, rng: ring_topology(max(3, n)),
-    "tree": lambda n, rng: tree_topology(n, branching=2),
-}
+CORPUS_PATH = Path(__file__).parent / "data" / "fuzz_seed_corpus.json"
+CORPUS = [
+    InstanceSpec.from_config(entry)
+    for entry in json.loads(CORPUS_PATH.read_text())
+]
 
 configurations = st.fixed_dictionaries(
     {
-        "family": st.sampled_from(sorted(FAMILIES)),
+        "family": st.sampled_from(sorted(TOPOLOGY_FAMILIES)),
         "num_nodes": st.integers(8, 24),
         "cloudlet_count": st.integers(2, 5),
         "chain_length": st.integers(1, 4),
@@ -55,45 +57,8 @@ configurations = st.fixed_dictionaries(
 )
 
 
-def _build(config) -> AugmentationProblem | None:
-    gen = as_rng(config["seed"])
-    graph = FAMILIES[config["family"]](config["num_nodes"], gen)
-    nodes = sorted(graph.nodes)
-    cloudlet_count = min(config["cloudlet_count"], len(nodes))
-    chosen = gen.choice(len(nodes), size=cloudlet_count, replace=False)
-    capacities = {
-        nodes[int(i)]: float(gen.uniform(400, 1600)) for i in chosen
-    }
-    network = MECNetwork(graph, capacities)
-    types = [
-        VNFType(
-            f"f{i}",
-            demand=float(gen.uniform(80, 400)),
-            reliability=float(gen.uniform(0.5, 0.98)),
-        )
-        for i in range(config["chain_length"])
-    ]
-    request = Request(
-        "fuzz",
-        ServiceFunctionChain(types),
-        expectation=float(gen.uniform(0.85, 0.999)),
-    )
-    cloudlets = list(network.cloudlets)
-    primaries = [
-        cloudlets[int(gen.integers(0, len(cloudlets)))]
-        for _ in range(config["chain_length"])
-    ]
-    residuals = {
-        v: capacities[v] * config["residual_scale"] for v in capacities
-    }
-    return AugmentationProblem.build(
-        network,
-        request,
-        primaries,
-        radius=config["radius"],
-        residuals=residuals,
-        item_config=ItemGenerationConfig(max_backups_per_function=6),
-    )
+def _build(config) -> AugmentationProblem:
+    return build_instance(InstanceSpec.from_config(config))
 
 
 class TestFuzzedConfigurations:
@@ -135,3 +100,47 @@ class TestFuzzedConfigurations:
             for u in item.bins:
                 assert problem.neighborhoods.contains(primary, u)
                 assert problem.residuals[u] + 1e-9 >= item.demand
+
+
+def _assert_capacity_safe(problem: AugmentationProblem, result: AugmentationResult):
+    """Theorem 6.2: replaying the placements against a fresh *strict* ledger
+    never violates capacity (``allocate`` raises on violation), no residual
+    ends negative, and every placement sits inside ``N_l^+(v_i)``."""
+    ledger = problem.ledger()
+    for p in result.solution.placements:
+        ledger.allocate(p.bin, p.demand, tag="replay")
+    for v in ledger.nodes:
+        assert ledger.residual(v) >= -1e-9, (v, ledger.residual(v))
+    for p in result.solution.placements:
+        primary = problem.primary_placement[p.position]
+        assert problem.neighborhoods.contains(primary, p.bin), (
+            p.position,
+            p.bin,
+            primary,
+        )
+
+
+class TestTheorem62CapacitySafety:
+    """Fuzz the incremental matching engine against the capacity ledger."""
+
+    ENGINES = [
+        MatchingHeuristic(),
+        MatchingHeuristic(stop_at_expectation=False),
+        MatchingHeuristic(rebuild_every=1),
+        MatchingHeuristic(stop_at_expectation=False, rebuild_every=3),
+    ]
+
+    @pytest.mark.parametrize(
+        "spec", CORPUS, ids=lambda s: f"{s.family}-seed{s.seed}"
+    )
+    def test_corpus_replay(self, spec):
+        problem = build_instance(spec)
+        for algorithm in self.ENGINES:
+            _assert_capacity_safe(problem, algorithm.solve(problem))
+
+    @given(config=configurations)
+    @settings(max_examples=40, deadline=None)
+    def test_fuzzed_incremental_engine(self, config):
+        problem = _build(config)
+        for algorithm in self.ENGINES:
+            _assert_capacity_safe(problem, algorithm.solve(problem))
