@@ -1,0 +1,110 @@
+"""Extension bench: the fault-tolerant request stream under failure injection.
+
+Beyond provisioning quality: serve a request stream while instances die
+and cloudlets black out, with automatic re-augmentation repairing degraded
+chains.  Reports the operator-facing fault metrics (availability, time
+below SLO, repair success rate, MTTR) per named fault scenario, plus an
+outage-severity sweep over the cloudlet MTBF.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, trials_per_point
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.experiments.resilience import (
+    FAULT_SCENARIOS,
+    run_fault_scenario,
+)
+from repro.experiments.resilience import run_outage_sweep
+from repro.util.rng import as_rng, spawn_rng
+from repro.util.tables import format_table
+
+NUM_REQUESTS = 8
+
+
+def bench_fault_scenarios(benchmark, results_dir):
+    streams = max(3, trials_per_point() // 2)
+
+    def sweep():
+        rows = []
+        for scenario in sorted(FAULT_SCENARIOS):
+            avail = below = success = mttr = degraded = violations = 0.0
+            for child in spawn_rng(as_rng(53), streams):
+                report = run_fault_scenario(
+                    scenario, MatchingHeuristic(), NUM_REQUESTS, rng=child
+                )
+                avail += report.mean_availability
+                below += report.time_below_slo
+                success += report.repair_success_rate
+                mttr += report.mttr
+                degraded += report.chains_degraded
+                violations += report.invariant_violations
+            rows.append(
+                [
+                    scenario,
+                    round(avail / streams, 4),
+                    round(below / streams, 3),
+                    round(success / streams, 4),
+                    round(mttr / streams, 4),
+                    round(degraded / streams, 2),
+                    int(violations),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "resilience_scenarios",
+        format_table(
+            [
+                "scenario",
+                "availability",
+                "below SLO",
+                "repair ok",
+                "MTTR",
+                "degraded",
+                "violations",
+            ],
+            rows,
+            title=(
+                f"Fault scenarios, {NUM_REQUESTS} requests/stream "
+                f"({streams} streams/scenario, heuristic augmenter)"
+            ),
+        ),
+    )
+
+
+def bench_outage_sweep(benchmark, results_dir):
+    streams = max(3, trials_per_point() // 2)
+
+    def sweep():
+        return run_outage_sweep(
+            MatchingHeuristic(),
+            mtbfs=[5.0, 10.0, 20.0],
+            num_requests=NUM_REQUESTS,
+            streams=streams,
+            rng=59,
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "resilience_outage_sweep",
+        format_table(
+            [
+                "cloudlet MTBF",
+                "availability",
+                "below SLO",
+                "repair ok",
+                "MTTR",
+                "degraded",
+                "unrepairable",
+            ],
+            rows,
+            title=(
+                f"Outage-severity sweep, {NUM_REQUESTS} requests/stream "
+                f"({streams} streams/point, heuristic augmenter)"
+            ),
+        ),
+    )

@@ -32,12 +32,15 @@ from repro.admission import (
 from repro.analysis import Theorem52Bounds, theorem52_bounds
 from repro.algorithms import (
     AugmentationAlgorithm,
+    FallbackAlgorithm,
+    FallbackTier,
     GreedyGain,
     ILPAlgorithm,
     MatchingHeuristic,
     NoAugmentation,
     RandomizedRounding,
     RepairedRandomizedRounding,
+    default_fallback_chain,
 )
 from repro.core import (
     AugmentationProblem,
@@ -64,6 +67,21 @@ from repro.experiments import (
     run_point,
 )
 from repro.experiments.batch import BatchReport, run_request_stream
+from repro.experiments.resilience import (
+    FAULT_SCENARIOS,
+    run_fault_scenario,
+    run_outage_sweep,
+)
+from repro.resilience import (
+    CommittedChain,
+    FailureConfig,
+    FailureInjector,
+    RepairController,
+    RepairPolicy,
+    ResilienceConfig,
+    ResilienceReport,
+    run_resilient_stream,
+)
 from repro.netmodel.failures import (
     SimulationEstimate,
     simulate_chain_reliability,
@@ -98,6 +116,7 @@ __all__ = [
     "AdmissionOutcome",
     "AugmentationAlgorithm",
     "BatchReport",
+    "CommittedChain",
     "SimulationConfig",
     "SimulationEstimate",
     "SimulationReport",
@@ -110,6 +129,11 @@ __all__ = [
     "CapacityLedger",
     "DEFAULT_SETTINGS",
     "ExperimentSettings",
+    "FAULT_SCENARIOS",
+    "FailureConfig",
+    "FailureInjector",
+    "FallbackAlgorithm",
+    "FallbackTier",
     "FigureSeries",
     "GreedyGain",
     "ILPAlgorithm",
@@ -119,9 +143,13 @@ __all__ = [
     "MatchingHeuristic",
     "NoAugmentation",
     "RandomizedRounding",
+    "RepairController",
+    "RepairPolicy",
     "RepairedRandomizedRounding",
     "ReproError",
     "Request",
+    "ResilienceConfig",
+    "ResilienceReport",
     "ServiceFunctionChain",
     "VNFCatalog",
     "VNFType",
@@ -130,6 +158,7 @@ __all__ = [
     "build_mec_network",
     "chain_reliability",
     "check_solution",
+    "default_fallback_chain",
     "describe_solution",
     "function_reliability",
     "generate_gtitm_topology",
@@ -138,11 +167,14 @@ __all__ = [
     "make_trial",
     "paper_cost",
     "random_primary_placement",
+    "run_fault_scenario",
     "run_figure1",
     "run_figure2",
     "run_figure3",
+    "run_outage_sweep",
     "run_point",
     "run_request_stream",
+    "run_resilient_stream",
     "simulate_chain_reliability",
     "simulate_solution",
     "theorem52_bounds",

@@ -16,6 +16,12 @@ returning an :class:`~repro.core.solution.AugmentationResult`.
 
 from repro.algorithms.base import AugmentationAlgorithm, finalize_result
 from repro.algorithms.baselines import GreedyGain, NoAugmentation
+from repro.algorithms.fallback import (
+    FallbackAlgorithm,
+    FallbackTier,
+    default_fallback_chain,
+    solve_with_timeout,
+)
 from repro.algorithms.heuristic import MatchingHeuristic
 from repro.algorithms.ilp_exact import ILPAlgorithm
 from repro.algorithms.randomized import RandomizedRounding
@@ -23,11 +29,15 @@ from repro.algorithms.repair import RepairedRandomizedRounding
 
 __all__ = [
     "AugmentationAlgorithm",
+    "FallbackAlgorithm",
+    "FallbackTier",
     "GreedyGain",
     "ILPAlgorithm",
     "MatchingHeuristic",
     "NoAugmentation",
     "RandomizedRounding",
     "RepairedRandomizedRounding",
+    "default_fallback_chain",
     "finalize_result",
+    "solve_with_timeout",
 ]

@@ -18,6 +18,7 @@ import sys
 from typing import Sequence
 
 from repro.algorithms.baselines import GreedyGain
+from repro.algorithms.fallback import default_fallback_chain
 from repro.algorithms.heuristic import MatchingHeuristic
 from repro.algorithms.ilp_exact import ILPAlgorithm
 from repro.experiments.ablations import (
@@ -32,6 +33,7 @@ from repro.experiments.ascii_plots import (
 from repro.experiments.batch import run_joint_comparison, run_request_stream
 from repro.experiments.figures import FigureSeries, run_figure1, run_figure2, run_figure3
 from repro.experiments.reporting import render_figure
+from repro.experiments.resilience import FAULT_SCENARIOS, run_fault_scenario
 from repro.experiments.serialization import write_series_csv
 from repro.experiments.settings import DEFAULT_SETTINGS
 from repro.util.tables import format_table
@@ -40,6 +42,7 @@ ALGORITHMS = {
     "ilp": ILPAlgorithm,
     "heuristic": MatchingHeuristic,
     "greedy": GreedyGain,
+    "fallback": default_fallback_chain,
 }
 
 ABLATIONS = {
@@ -88,6 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--requests", type=int, default=50)
     batch.add_argument(
         "--algorithm", choices=sorted(ALGORITHMS), default="heuristic"
+    )
+
+    resilient = sub.add_parser(
+        "resilient", help="fault-injected stream with automatic repair"
+    )
+    _add_common(resilient)
+    resilient.add_argument("--requests", type=int, default=8)
+    resilient.add_argument(
+        "--scenario", choices=sorted(FAULT_SCENARIOS), default="outages"
+    )
+    resilient.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="fallback"
     )
 
     joint = sub.add_parser(
@@ -153,6 +168,23 @@ def main(argv: Sequence[str] | None = None) -> int:
                 ["metric", "value"],
                 rows,
                 title=f"price of sequential admission ({args.algorithm}, seed {args.seed})",
+            )
+        )
+    elif args.command == "resilient":
+        report = run_fault_scenario(
+            args.scenario,
+            ALGORITHMS[args.algorithm](),
+            num_requests=args.requests,
+            rng=args.seed,
+        )
+        print(
+            format_table(
+                ["metric", "value"],
+                report.summary_rows(),
+                title=(
+                    f"resilient stream ({args.scenario} scenario, "
+                    f"{args.algorithm}, seed {args.seed})"
+                ),
             )
         )
     elif args.command == "batch":

@@ -34,7 +34,7 @@ from repro.experiments.workload import make_network, make_request
 from repro.netmodel.capacity import CapacityLedger
 from repro.netmodel.graph import MECNetwork
 from repro.netmodel.vnf import VNFCatalog
-from repro.util.errors import InfeasibleError
+from repro.util.errors import CapacityError, InfeasibleError
 from repro.util.rng import RandomState, as_rng
 
 
@@ -214,6 +214,15 @@ def run_request_stream(
     be placed is rejected and consumes nothing; augmentation placements of
     accepted requests are committed permanently.
 
+    Commits are transactional: each request's primaries and backups form
+    one ledger transaction bracketed by
+    :meth:`~repro.netmodel.capacity.CapacityLedger.checkpoint` /
+    :meth:`~repro.netmodel.capacity.CapacityLedger.rollback`, so a
+    mid-commit :class:`~repro.util.errors.CapacityError` (an algorithm
+    overshooting the residuals it was handed) rejects the request and
+    leaves the ledger exactly as it was before the arrival -- no partial
+    allocation can leak into later requests.
+
     Randomized-rounding algorithms are not suitable for the committed
     stream (their violations would corrupt the shared ledger); pass a
     feasible algorithm (Heuristic, ILP, Greedy).
@@ -235,6 +244,7 @@ def run_request_stream(
     report = BatchReport()
     for index in range(num_requests):
         request = make_request(settings, catalog, gen, name=f"req-{index}")
+        checkpoint = ledger.checkpoint()
         try:
             primaries = random_primary_placement(network, request, rng=gen, ledger=ledger)
         except InfeasibleError:
@@ -259,11 +269,27 @@ def run_request_stream(
             neighborhoods=neighborhoods,
         )
         result = algorithm.solve(problem, rng=gen)
-        # commit the augmentation onto the shared ledger
-        for placement in result.solution.placements:
-            ledger.allocate(
-                placement.bin, placement.demand, tag=f"{request.name}:backup"
+        try:
+            # commit the augmentation onto the shared ledger
+            for placement in result.solution.placements:
+                ledger.allocate(
+                    placement.bin, placement.demand, tag=f"{request.name}:backup"
+                )
+        except CapacityError:
+            # roll the whole request back -- primaries included -- so the
+            # ledger is exactly as it was before this arrival
+            ledger.rollback(checkpoint)
+            report.outcomes.append(
+                BatchRequestOutcome(
+                    name=request.name,
+                    admitted=False,
+                    reliability=0.0,
+                    expectation=request.expectation,
+                    expectation_met=False,
+                    backups=0,
+                )
             )
+            continue
         report.outcomes.append(
             BatchRequestOutcome(
                 name=request.name,

@@ -1,0 +1,137 @@
+"""Fault scenarios and sweeps for the resilient request stream.
+
+The paper evaluates provisioning quality at commit time; this module asks
+the operational question instead: *given* the paper's augmentation, how
+does the served system behave under failures, and how much does automatic
+repair buy back?  It packages named fault scenarios (so the CLI, the
+benchmark, and the CI smoke job all run the same configurations) and an
+outage-severity sweep -- mean availability and repair metrics as a function
+of the cloudlet MTBF.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import AugmentationAlgorithm
+from repro.experiments.settings import ExperimentSettings
+from repro.resilience import FailureConfig, ResilienceConfig, run_resilient_stream
+from repro.resilience.metrics import ResilienceReport
+from repro.util.errors import ValidationError
+from repro.util.rng import RandomState, as_rng, spawn_rng
+
+#: Stream settings with enough slack capacity that repair has room to work
+#: (the default paper settings saturate, which studies congestion rather
+#: than fault tolerance).
+RESILIENT_SETTINGS = ExperimentSettings(
+    num_aps=30,
+    cloudlet_fraction=0.2,
+    capacity_range=(9000.0, 14000.0),
+    sfc_length_range=(3, 5),
+    radius=2,
+    trials=1,
+)
+
+#: Named fault scenarios shared by the CLI, the benchmark, and CI.
+FAULT_SCENARIOS: dict[str, ResilienceConfig] = {
+    # no failure processes at all: the control
+    "quiet": ResilienceConfig(
+        horizon=30.0,
+        failures=FailureConfig(instance_acceleration=0.0),
+    ),
+    # independent instance deaths only, at natural rates
+    "churn": ResilienceConfig(
+        horizon=30.0,
+        failures=FailureConfig(instance_acceleration=1.0),
+    ),
+    # correlated cloudlet outages only
+    "outages": ResilienceConfig(
+        horizon=30.0,
+        failures=FailureConfig(
+            instance_acceleration=0.0, cloudlet_mtbf=10.0, cloudlet_mttr=1.5
+        ),
+    ),
+    # both processes, with accelerated instance aging
+    "stress": ResilienceConfig(
+        horizon=30.0,
+        failures=FailureConfig(
+            instance_acceleration=2.0, cloudlet_mtbf=12.0, cloudlet_mttr=1.5
+        ),
+    ),
+}
+
+
+def run_fault_scenario(
+    scenario: str,
+    algorithm: AugmentationAlgorithm,
+    num_requests: int = 8,
+    settings: ExperimentSettings | None = None,
+    rng: RandomState = None,
+) -> ResilienceReport:
+    """Run one named fault scenario end to end."""
+    if scenario not in FAULT_SCENARIOS:
+        raise ValidationError(
+            f"unknown scenario {scenario!r}; choose from {sorted(FAULT_SCENARIOS)}"
+        )
+    return run_resilient_stream(
+        settings or RESILIENT_SETTINGS,
+        algorithm,
+        num_requests,
+        config=FAULT_SCENARIOS[scenario],
+        rng=rng,
+    )
+
+
+def run_outage_sweep(
+    algorithm: AugmentationAlgorithm,
+    mtbfs: list[float] = (5.0, 10.0, 20.0),
+    num_requests: int = 8,
+    streams: int = 3,
+    settings: ExperimentSettings | None = None,
+    rng: RandomState = None,
+) -> list[list[object]]:
+    """Sweep outage severity (cloudlet MTBF) and average the fault metrics.
+
+    Returns table rows ``[mtbf, availability, time below SLO, repair
+    success rate, MTTR, degraded, unrepairable]`` averaged over ``streams``
+    independent runs per point -- the resilience analogue of the paper's
+    figure sweeps.
+    """
+    if streams < 1:
+        raise ValidationError(f"streams must be >= 1, got {streams}")
+    gen = as_rng(rng)
+    rows: list[list[object]] = []
+    for mtbf in mtbfs:
+        if mtbf <= 0:
+            raise ValidationError(f"cloudlet MTBF must be positive, got {mtbf}")
+        config = ResilienceConfig(
+            horizon=30.0,
+            failures=FailureConfig(
+                instance_acceleration=0.0, cloudlet_mtbf=mtbf, cloudlet_mttr=1.5
+            ),
+        )
+        avail = below = success = mttr = degraded = unrepairable = 0.0
+        for child in spawn_rng(gen, streams):
+            report = run_resilient_stream(
+                settings or RESILIENT_SETTINGS,
+                algorithm,
+                num_requests,
+                config=config,
+                rng=child,
+            )
+            avail += report.mean_availability
+            below += report.time_below_slo
+            success += report.repair_success_rate
+            mttr += report.mttr
+            degraded += report.chains_degraded
+            unrepairable += report.chains_unrepairable
+        rows.append(
+            [
+                mtbf,
+                round(avail / streams, 4),
+                round(below / streams, 3),
+                round(success / streams, 4),
+                round(mttr / streams, 4),
+                round(degraded / streams, 2),
+                round(unrepairable / streams, 2),
+            ]
+        )
+    return rows

@@ -135,25 +135,79 @@ class CapacityLedger:
         self._journal.append(alloc)
         return alloc
 
+    def _recompute(self, nodes: set[int]) -> None:
+        """Rebuild ``used`` for ``nodes`` as the in-order sum of live journal
+        entries.
+
+        Keeping ``used[v]`` *exactly* equal to that fold (rather than
+        patching it with subtractions, which leaves float residue) makes
+        :meth:`rollback` byte-identical: restoring the journal prefix of a
+        checkpoint restores bit-for-bit the ``used`` values it had.
+        """
+        for v in nodes:
+            self._used[v] = 0.0
+        for alloc in self._journal:
+            if alloc.node in nodes:
+                self._used[alloc.node] += alloc.amount
+
     def release(self, allocation: Allocation) -> None:
         """Return a journaled allocation's capacity (out-of-order release OK)."""
         try:
             self._journal.remove(allocation)
         except ValueError:
             raise ValidationError(f"allocation {allocation!r} is not in the journal") from None
-        self._used[allocation.node] -= allocation.amount
+        self._recompute({allocation.node})
+
+    def release_tag(self, tag: str) -> float:
+        """Release *every* journaled allocation carrying ``tag``.
+
+        Used by lifecycle events that retire a whole consumer at once: a
+        request departing the system, a failed instance whose capacity
+        returns to the pool, a cloudlet-outage blockade being lifted.
+
+        Returns the total amount released (0.0 when no allocation matches).
+
+        Out-of-order releases compact the journal, so checkpoints taken
+        *before* a ``release_tag`` (or :meth:`release`) call no longer
+        denote the same journal position -- do not roll back across a
+        release.  Transactional callers take their checkpoint, allocate,
+        and either commit or roll back without interleaved releases.
+        """
+        released = 0.0
+        touched: set[int] = set()
+        kept: list[Allocation] = []
+        for alloc in self._journal:
+            if alloc.tag == tag:
+                released += alloc.amount
+                touched.add(alloc.node)
+            else:
+                kept.append(alloc)
+        self._journal = kept
+        self._recompute(touched)
+        return released
+
+    def tagged(self, tag: str) -> list[Allocation]:
+        """All journaled allocations carrying ``tag``, in allocation order."""
+        return [a for a in self._journal if a.tag == tag]
 
     def checkpoint(self) -> int:
         """Opaque marker for the current journal position."""
         return len(self._journal)
 
     def rollback(self, checkpoint: int) -> None:
-        """Undo every allocation made after ``checkpoint``."""
+        """Undo every allocation made after ``checkpoint``.
+
+        Restores the ledger *byte-identically* to its state at
+        :meth:`checkpoint` time (journal prefix and ``used`` values alike),
+        provided no out-of-order release compacted the journal in between.
+        """
         if checkpoint < 0 or checkpoint > len(self._journal):
             raise ValidationError(f"invalid checkpoint {checkpoint}")
-        while len(self._journal) > checkpoint:
-            alloc = self._journal.pop()
-            self._used[alloc.node] -= alloc.amount
+        if checkpoint == len(self._journal):
+            return
+        touched = {alloc.node for alloc in self._journal[checkpoint:]}
+        del self._journal[checkpoint:]
+        self._recompute(touched)
 
     # -- reporting ------------------------------------------------------------
     @property

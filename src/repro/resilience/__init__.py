@@ -1,0 +1,50 @@
+"""Fault tolerance for the request stream: failures, repair, degradation.
+
+The paper provisions backups once, offline; this subpackage keeps chains
+serving *after* commit:
+
+* :mod:`~repro.resilience.state` -- live per-instance state of committed
+  chains and their live (surviving-redundancy) reliability;
+* :mod:`~repro.resilience.injector` -- instance deaths and correlated
+  cloudlet outages as discrete events against the shared capacity ledger;
+* :mod:`~repro.resilience.repair` -- transactional re-augmentation of
+  chains degraded below ``rho_j``, with bounded retries and exponential
+  backoff;
+* :mod:`~repro.resilience.metrics` -- availability, time-below-SLO,
+  repair success rate, MTTR, fallback-tier histogram;
+* :mod:`~repro.resilience.stream` -- :func:`run_resilient_stream`, the
+  entry point composing all of the above with the solver fallback chain
+  of :mod:`repro.algorithms.fallback`.
+"""
+
+from repro.resilience.injector import FailureConfig, FailureInjector
+from repro.resilience.metrics import (
+    ChainTimeline,
+    MetricsTracker,
+    RequestOutcome,
+    ResilienceReport,
+)
+from repro.resilience.repair import RepairController, RepairOutcome, RepairPolicy
+from repro.resilience.state import CommittedChain, LiveInstance
+from repro.resilience.stream import (
+    ResilienceConfig,
+    ResilientStreamController,
+    run_resilient_stream,
+)
+
+__all__ = [
+    "ChainTimeline",
+    "CommittedChain",
+    "FailureConfig",
+    "FailureInjector",
+    "LiveInstance",
+    "MetricsTracker",
+    "RepairController",
+    "RepairOutcome",
+    "RepairPolicy",
+    "RequestOutcome",
+    "ResilienceConfig",
+    "ResilienceReport",
+    "ResilientStreamController",
+    "run_resilient_stream",
+]

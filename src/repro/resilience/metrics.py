@@ -1,0 +1,246 @@
+"""Resilience metrics: what the operator actually answers for.
+
+The paper's figures measure provisioning quality at commit time; a
+fault-tolerant system is judged by what happens *afterwards*.  The tracker
+integrates per-chain SLO state over simulated time (state changes only at
+events, so exact integration is cheap) and aggregates the operator-facing
+quantities:
+
+* **per-request availability** -- fraction of a chain's committed lifetime
+  its live reliability stayed at/above ``rho_j``;
+* **time below SLO** -- total breach time, summed over chains;
+* **repair success rate and MTTR** -- how often repairs restore the SLO,
+  and the mean breach-to-restoration delay;
+* **fallback-tier histogram** -- which solver tier served each request
+  (tier drift is the early-warning signal that the exact tier is
+  struggling);
+* **ledger-invariant violations** -- count of events after which
+  ``used(v) > initial(v)`` held anywhere (must be 0; continuously asserted
+  by the stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resilience.repair import RepairOutcome
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """One request's fate at commit time in the resilient stream."""
+
+    name: str
+    arrived_at: float
+    admitted: bool
+    reliability: float
+    expectation: float
+    expectation_met: bool
+    backups: int
+    fallback_tier: int | None
+    fallback_algorithm: str | None
+
+
+@dataclass
+class ChainTimeline:
+    """SLO state integration for one committed chain."""
+
+    name: str
+    committed_at: float
+    met_at_commit: bool
+    slo_ok: bool
+    breach_since: float | None = None
+    time_below: float = 0.0
+    breaches: int = 0
+    restorations: int = 0
+    unrepairable: bool = False
+
+
+@dataclass
+class ResilienceReport:
+    """Aggregated outcome of one resilient stream run."""
+
+    horizon: float
+    outcomes: list[RequestOutcome] = field(default_factory=list)
+    timelines: dict[str, ChainTimeline] = field(default_factory=dict)
+    repairs: list[RepairOutcome] = field(default_factory=list)
+    tier_histogram: dict[str, int] = field(default_factory=dict)
+    event_counts: dict[str, int] = field(default_factory=dict)
+    mttr_samples: list[float] = field(default_factory=list)
+    invariant_violations: int = 0
+    final_utilisation: float = 0.0
+
+    # -- request-level aggregates ---------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def acceptance_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.admitted for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def expectation_met_rate(self) -> float:
+        admitted = [o for o in self.outcomes if o.admitted]
+        if not admitted:
+            return 0.0
+        return sum(o.expectation_met for o in admitted) / len(admitted)
+
+    # -- resilience aggregates --------------------------------------------------
+    @property
+    def chains_degraded(self) -> int:
+        """Chains that were committed at/above SLO and later breached it."""
+        return sum(
+            1 for t in self.timelines.values() if t.met_at_commit and t.breaches > 0
+        )
+
+    @property
+    def chains_unrepairable(self) -> int:
+        """Chains whose repair attempts were exhausted without restoration."""
+        return sum(1 for t in self.timelines.values() if t.unrepairable)
+
+    @property
+    def time_below_slo(self) -> float:
+        """Total breach time summed over all committed chains."""
+        return sum(t.time_below for t in self.timelines.values())
+
+    def availability(self, name: str) -> float:
+        """Fraction of a chain's committed lifetime spent at/above SLO."""
+        timeline = self.timelines[name]
+        lifetime = self.horizon - timeline.committed_at
+        if lifetime <= 0:
+            return 1.0
+        return 1.0 - timeline.time_below / lifetime
+
+    @property
+    def mean_availability(self) -> float:
+        """Mean per-chain availability over committed chains."""
+        if not self.timelines:
+            return 0.0
+        return sum(self.availability(name) for name in self.timelines) / len(
+            self.timelines
+        )
+
+    @property
+    def repair_attempts(self) -> int:
+        """Repair attempts excluding 'already healthy' no-ops."""
+        return sum(1 for r in self.repairs if r.attempt > 0)
+
+    @property
+    def repair_successes(self) -> int:
+        return sum(1 for r in self.repairs if r.attempt > 0 and r.restored)
+
+    @property
+    def repair_success_rate(self) -> float:
+        attempts = self.repair_attempts
+        if attempts == 0:
+            return 0.0
+        return self.repair_successes / attempts
+
+    @property
+    def mttr(self) -> float:
+        """Mean breach-to-restoration delay over restored breaches."""
+        if not self.mttr_samples:
+            return 0.0
+        return sum(self.mttr_samples) / len(self.mttr_samples)
+
+    def summary_rows(self) -> list[list[object]]:
+        """``[metric, value]`` rows for the CLI / benchmark tables."""
+        rows: list[list[object]] = [
+            ["requests", self.num_requests],
+            ["acceptance rate", round(self.acceptance_rate, 4)],
+            ["expectation met at commit", round(self.expectation_met_rate, 4)],
+            ["mean availability", round(self.mean_availability, 5)],
+            ["time below SLO", round(self.time_below_slo, 3)],
+            ["chains degraded", self.chains_degraded],
+            ["chains unrepairable", self.chains_unrepairable],
+            ["repair attempts", self.repair_attempts],
+            ["repair success rate", round(self.repair_success_rate, 4)],
+            ["MTTR", round(self.mttr, 4)],
+            ["instance failures", self.event_counts.get("instance-fail", 0)],
+            ["cloudlet outages", self.event_counts.get("cloudlet-fail", 0)],
+            ["ledger invariant violations", self.invariant_violations],
+            ["final utilisation", round(self.final_utilisation, 4)],
+        ]
+        for tier, count in sorted(self.tier_histogram.items()):
+            rows.append([f"served by {tier}", count])
+        return rows
+
+
+class MetricsTracker:
+    """Event-time accumulator building a :class:`ResilienceReport`."""
+
+    def __init__(self) -> None:
+        self._report = ResilienceReport(horizon=0.0)
+
+    # -- recording --------------------------------------------------------------
+    def on_outcome(self, outcome: RequestOutcome) -> None:
+        """Record one arrival's commit-time outcome."""
+        self._report.outcomes.append(outcome)
+        if outcome.fallback_algorithm is not None:
+            if outcome.fallback_tier is not None:
+                key = f"tier {outcome.fallback_tier} ({outcome.fallback_algorithm})"
+            else:
+                key = outcome.fallback_algorithm
+            self._report.tier_histogram[key] = (
+                self._report.tier_histogram.get(key, 0) + 1
+            )
+
+    def on_commit(self, name: str, now: float, slo_ok: bool) -> None:
+        """Start a committed chain's SLO timeline."""
+        if name in self._report.timelines:
+            raise ValidationError(f"chain {name!r} already tracked")
+        timeline = ChainTimeline(
+            name=name, committed_at=now, met_at_commit=slo_ok, slo_ok=slo_ok
+        )
+        if not slo_ok:
+            timeline.breach_since = now
+        self._report.timelines[name] = timeline
+
+    def on_state(self, name: str, now: float, slo_ok: bool) -> None:
+        """Record a chain's SLO state after an event; integrates breaches."""
+        timeline = self._report.timelines[name]
+        if timeline.slo_ok and not slo_ok:
+            timeline.slo_ok = False
+            timeline.breach_since = now
+            timeline.breaches += 1
+        elif not timeline.slo_ok and slo_ok:
+            timeline.slo_ok = True
+            if timeline.breach_since is not None:
+                delay = now - timeline.breach_since
+                timeline.time_below += delay
+                self._report.mttr_samples.append(delay)
+            timeline.breach_since = None
+            timeline.restorations += 1
+            timeline.unrepairable = False
+
+    def on_repair(self, outcome: RepairOutcome) -> None:
+        """Record one repair attempt; flags exhausted chains unrepairable."""
+        self._report.repairs.append(outcome)
+        if outcome.attempt > 0 and not outcome.restored and not outcome.retriable:
+            timeline = self._report.timelines.get(outcome.chain)
+            if timeline is not None:
+                timeline.unrepairable = True
+
+    def on_invariant_violation(self) -> None:
+        self._report.invariant_violations += 1
+
+    # -- finalisation -----------------------------------------------------------
+    def finalize(
+        self,
+        horizon: float,
+        event_counts: dict[str, int] | None = None,
+        final_utilisation: float = 0.0,
+    ) -> ResilienceReport:
+        """Close open breaches at the horizon and return the report."""
+        self._report.horizon = horizon
+        for timeline in self._report.timelines.values():
+            if not timeline.slo_ok and timeline.breach_since is not None:
+                timeline.time_below += horizon - timeline.breach_since
+                timeline.breach_since = horizon
+        self._report.event_counts = dict(event_counts or {})
+        self._report.final_utilisation = final_utilisation
+        return self._report

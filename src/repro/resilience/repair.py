@@ -1,0 +1,325 @@
+"""Automatic re-augmentation of chains degraded below their expectation.
+
+When failures push a chain's live reliability under ``rho_j``, the repair
+controller rebuilds the paper's augmentation machinery *against the live
+system state* and provisions replacements:
+
+1. **re-seed** -- a position with zero live instances first gets one fresh
+   instance on the closest up cloudlet (by hop distance from the original
+   anchor) with room for its demand; without this the reliability algebra
+   has nothing to multiply;
+2. **re-augment** -- a fresh :class:`AugmentationProblem` is built from the
+   live ledger residuals (down cloudlets are blockaded to zero, so the
+   builder cannot target them), anchored at one live instance per position,
+   and handed to the configured algorithm -- typically a
+   :class:`~repro.algorithms.fallback.FallbackAlgorithm` so a slow or
+   crashing solver degrades instead of stalling repairs;
+3. **commit** -- the whole repair (re-seeds + new backups) is one ledger
+   transaction: a checkpoint is taken first and any
+   :class:`~repro.util.errors.CapacityError` rolls everything back, so a
+   half-applied repair can never leak allocations.  Only a fully committed
+   repair mutates the chain record and arms failure events for the new
+   instances.
+
+The solve step's algebra treats each position as primary-plus-new-backups
+and ignores surviving surplus backups, which is *conservative* (true live
+reliability is at least the problem's estimate).  To avoid systematic
+over-provisioning the controller commits new placements incrementally, in
+ascending ``k`` (highest marginal gain first), and stops as soon as the
+*true* live reliability clears ``rho_j``.
+
+A repair that cannot restore the SLO (no host for a dead position, solver
+shortfall, capacity race) reports ``retriable`` until the policy's attempt
+budget is exhausted; the stream schedules retries with exponential backoff
+so repairs blocked by an outage succeed once capacity recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.base import AugmentationAlgorithm
+from repro.core.problem import AugmentationProblem
+from repro.netmodel.capacity import CapacityLedger
+from repro.netmodel.graph import MECNetwork
+from repro.netmodel.neighborhoods import NeighborhoodIndex
+from repro.resilience.injector import FailureInjector
+from repro.resilience.state import CommittedChain, LiveInstance
+from repro.util.errors import CapacityError, ReproError, ValidationError
+
+
+@dataclass(frozen=True)
+class RepairPolicy:
+    """Retry discipline of the repair controller.
+
+    Attributes
+    ----------
+    max_attempts:
+        Consecutive failed attempts per chain before it is declared
+        unrepairable (the counter resets on success, and the stream
+        re-arms exhausted chains when a cloudlet recovery returns
+        capacity).
+    repair_delay:
+        Detection + provisioning latency: a degradation detected at ``t``
+        is repaired at ``t + repair_delay``.  This is what makes measured
+        MTTR non-zero even when every repair succeeds first try.
+    backoff:
+        Delay before the first retry.
+    backoff_factor:
+        Multiplier applied per further attempt (exponential backoff):
+        retry ``n`` fires after ``backoff * factor**(n-1)``.
+    """
+
+    max_attempts: int = 4
+    repair_delay: float = 0.05
+    backoff: float = 0.25
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.repair_delay < 0:
+            raise ValidationError(
+                f"repair_delay must be >= 0, got {self.repair_delay}"
+            )
+        if self.backoff <= 0:
+            raise ValidationError(f"backoff must be positive, got {self.backoff}")
+        if self.backoff_factor < 1.0:
+            raise ValidationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return self.backoff * self.backoff_factor ** max(0, attempt - 1)
+
+
+@dataclass(frozen=True)
+class RepairOutcome:
+    """What one repair attempt achieved.
+
+    Attributes
+    ----------
+    chain:
+        The chain's name.
+    time:
+        Stream time of the attempt.
+    attempt:
+        1-based consecutive attempt number for this degradation.
+    restored:
+        Whether live reliability is back at/above ``rho_j``.
+    retriable:
+        Whether the stream should schedule another attempt.
+    placed:
+        Replacement instances committed by this attempt.
+    reliability:
+        Live reliability after the attempt.
+    reason:
+        Human-readable note (``"restored"``, ``"no host for dead
+        position"``, ``"solver shortfall"``, ``"capacity race"``, ...).
+    """
+
+    chain: str
+    time: float
+    attempt: int
+    restored: bool
+    retriable: bool
+    placed: int
+    reliability: float
+    reason: str
+
+
+class _Unrepairable(ReproError):
+    """Internal: a dead position has no feasible host right now."""
+
+
+class RepairController:
+    """Detects and repairs chains whose live reliability fell below ``rho_j``."""
+
+    def __init__(
+        self,
+        network: MECNetwork,
+        ledger: CapacityLedger,
+        injector: FailureInjector,
+        algorithm: AugmentationAlgorithm,
+        radius: int,
+        policy: RepairPolicy | None = None,
+        neighborhoods: NeighborhoodIndex | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.network = network
+        self.ledger = ledger
+        self.injector = injector
+        self.algorithm = algorithm
+        self.radius = radius
+        self.policy = policy or RepairPolicy()
+        self.neighborhoods = neighborhoods or network.neighborhoods(radius)
+        self.rng = rng
+        self._seq = 0  # uniquifies replacement-instance tags
+
+    # -- helpers ----------------------------------------------------------------
+    def _next_tag(self, chain: CommittedChain, position: int) -> str:
+        self._seq += 1
+        return f"repair:{chain.name}#p{position}.{self._seq}"
+
+    def _pick_host(self, anchor: int, demand: float) -> int | None:
+        """Closest up cloudlet (by hops from ``anchor``, then id) that fits.
+
+        Down cloudlets are excluded implicitly: their blockade leaves zero
+        residual, so :meth:`CapacityLedger.fits` rejects them.
+        """
+        candidates = [
+            v for v in self.network.cloudlets if self.ledger.fits(v, demand)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda v: (self.network.hop_distance(anchor, v), v))
+
+    @staticmethod
+    def _reliability_from_counts(chain: CommittedChain, counts: list[int]) -> float:
+        reliability = 1.0
+        for func, n in zip(chain.request.chain, counts):
+            if n == 0:
+                return 0.0
+            reliability *= 1.0 - (1.0 - func.reliability) ** n
+        return reliability
+
+    # -- the repair transaction -------------------------------------------------
+    def repair(self, chain: CommittedChain, now: float) -> RepairOutcome:
+        """One transactional repair attempt; never raises on failure paths."""
+        if chain.meets_slo():
+            chain.repair_attempts = 0
+            return RepairOutcome(
+                chain=chain.name,
+                time=now,
+                attempt=0,
+                restored=True,
+                retriable=False,
+                placed=0,
+                reliability=chain.live_reliability(),
+                reason="already healthy",
+            )
+
+        chain.repair_attempts += 1
+        attempt = chain.repair_attempts
+        retriable = attempt < self.policy.max_attempts
+        checkpoint = self.ledger.checkpoint()
+        new_instances: list[LiveInstance] = []
+        counts = chain.live_counts()
+
+        def fail(reason: str) -> RepairOutcome:
+            self.ledger.rollback(checkpoint)
+            return RepairOutcome(
+                chain=chain.name,
+                time=now,
+                attempt=attempt,
+                restored=False,
+                retriable=retriable,
+                placed=0,
+                reliability=chain.live_reliability(),
+                reason=reason,
+            )
+
+        try:
+            # phase 1: re-seed dead positions
+            for position, func in enumerate(chain.request.chain):
+                if counts[position] > 0:
+                    continue
+                host = self._pick_host(chain.anchors[position], func.demand)
+                if host is None:
+                    raise _Unrepairable(
+                        f"no host for dead position {position} of {chain.name}"
+                    )
+                tag = self._next_tag(chain, position)
+                self.ledger.allocate(host, func.demand, tag=tag)
+                new_instances.append(
+                    LiveInstance(
+                        position=position,
+                        cloudlet=host,
+                        demand=func.demand,
+                        reliability=func.reliability,
+                        tag=tag,
+                    )
+                )
+                counts[position] += 1
+
+            # phase 2: re-augment toward rho_j on live residuals
+            if not chain.request.meets_expectation(
+                self._reliability_from_counts(chain, counts)
+            ):
+                anchors = self._anchors_with(chain, new_instances)
+                problem = AugmentationProblem.build(
+                    self.network,
+                    chain.request,
+                    anchors,
+                    radius=self.radius,
+                    residuals=self.ledger.residuals(),
+                    neighborhoods=self.neighborhoods,
+                )
+                result = self.algorithm.solve(problem, rng=self.rng)
+                # commit in ascending k (largest marginal gain first) and
+                # stop once the *true* live count clears the expectation
+                for placement in sorted(
+                    result.solution.placements, key=lambda p: (p.k, p.position)
+                ):
+                    if chain.request.meets_expectation(
+                        self._reliability_from_counts(chain, counts)
+                    ):
+                        break
+                    tag = self._next_tag(chain, placement.position)
+                    self.ledger.allocate(placement.bin, placement.demand, tag=tag)
+                    func = chain.request.chain[placement.position]
+                    new_instances.append(
+                        LiveInstance(
+                            position=placement.position,
+                            cloudlet=placement.bin,
+                            demand=placement.demand,
+                            reliability=func.reliability,
+                            tag=tag,
+                        )
+                    )
+                    counts[placement.position] += 1
+        except CapacityError:
+            return fail("capacity race")
+        except _Unrepairable as exc:
+            return fail(str(exc))
+        except ReproError as exc:
+            # solver-side failure (e.g. an exhausted fallback chain)
+            return fail(f"solver failure: {type(exc).__name__}")
+
+        # commit: the transaction is complete, adopt the new instances
+        chain.instances.extend(new_instances)
+        self.injector.attach_instances(chain, new_instances, now)
+        reliability = chain.live_reliability()
+        restored = chain.meets_slo()
+        if restored:
+            chain.repair_attempts = 0
+        return RepairOutcome(
+            chain=chain.name,
+            time=now,
+            attempt=attempt,
+            restored=restored,
+            retriable=not restored and retriable,
+            placed=len(new_instances),
+            reliability=reliability,
+            reason="restored" if restored else "solver shortfall",
+        )
+
+    def _anchors_with(
+        self, chain: CommittedChain, pending: list[LiveInstance]
+    ) -> tuple[int, ...]:
+        """Per-position anchors counting instances committed *and* pending
+        re-seeds of the in-flight transaction."""
+        anchors = []
+        for position, original in enumerate(chain.anchors):
+            live = chain.instances_at(position)
+            live.extend(inst for inst in pending if inst.position == position)
+            if not live:
+                raise ValidationError(
+                    f"chain {chain.name!r}: position {position} has no live instance"
+                )
+            hosts = sorted(inst.cloudlet for inst in live)
+            anchors.append(original if original in hosts else hosts[0])
+        return tuple(anchors)

@@ -1,0 +1,151 @@
+"""Live state of committed chains: what is actually up *right now*.
+
+The paper's algebra reasons about the *provisioned* redundancy of a chain;
+this module tracks the *surviving* redundancy as runtime failures destroy
+instances.  Every placed instance -- primary, augmentation backup, or
+repair replacement -- is a :class:`LiveInstance` with its own capacity
+allocation tag, so retiring it (failure, cloudlet outage) releases exactly
+its share of the ledger via
+:meth:`~repro.netmodel.capacity.CapacityLedger.release_tag`.
+
+The key quantity is :meth:`CommittedChain.live_reliability`: with ``n_i``
+live instances at position ``i``, the position survives with probability
+``1 - (1 - r_i)^{n_i}`` (Eq. 1 evaluated on the *live* count), and the
+chain with the product over positions.  A position with zero live
+instances makes the chain dead (reliability 0) until a repair re-seeds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netmodel.vnf import Request
+
+
+@dataclass
+class LiveInstance:
+    """One placed VNF instance and its runtime state.
+
+    Attributes
+    ----------
+    position:
+        Chain position the instance serves.
+    cloudlet:
+        Hosting cloudlet node id.
+    demand:
+        Computing capacity the instance consumes (MHz).
+    reliability:
+        The instance's reliability ``r_i`` (its function's).
+    tag:
+        The unique ledger tag of this instance's allocation -- releasing
+        the tag returns exactly this instance's capacity.
+    alive:
+        Whether the instance is currently up.  Failed instances stay in
+        the record (dead) for auditability; their allocations are released.
+    """
+
+    position: int
+    cloudlet: int
+    demand: float
+    reliability: float
+    tag: str
+    alive: bool = True
+
+
+@dataclass
+class CommittedChain:
+    """A committed request and the live state of all its instances.
+
+    Attributes
+    ----------
+    request:
+        The admitted request (chain + expectation ``rho_j``).
+    instances:
+        Every instance ever placed for this chain, dead ones included.
+    anchors:
+        The original primary placement -- repair prefers to re-seed a dead
+        position close to where its primary stood.
+    committed_at:
+        Stream time at which the chain was committed.
+    met_at_commit:
+        Whether the committed placement satisfied ``rho_j``.
+    repair_attempts:
+        Consecutive failed repair attempts (reset on a successful repair);
+        drives the repair controller's exponential backoff.
+    """
+
+    request: Request
+    instances: list[LiveInstance] = field(default_factory=list)
+    anchors: tuple[int, ...] = ()
+    committed_at: float = 0.0
+    met_at_commit: bool = False
+    repair_attempts: int = 0
+
+    @property
+    def name(self) -> str:
+        """The request's name -- the chain's identity in logs and events."""
+        return self.request.name
+
+    @property
+    def expectation(self) -> float:
+        """The reliability expectation ``rho_j`` repairs must restore."""
+        return self.request.expectation
+
+    def live_instances(self) -> list[LiveInstance]:
+        """All currently-up instances."""
+        return [inst for inst in self.instances if inst.alive]
+
+    def live_counts(self) -> list[int]:
+        """Live instance count per chain position."""
+        counts = [0] * self.request.chain.length
+        for inst in self.instances:
+            if inst.alive:
+                counts[inst.position] += 1
+        return counts
+
+    def live_reliability(self) -> float:
+        """Chain reliability over *live* instances only.
+
+        ``prod_i (1 - (1 - r_i)^{n_i})`` with ``n_i`` live instances at
+        position ``i``; 0.0 when any position has none.
+        """
+        counts = self.live_counts()
+        reliability = 1.0
+        for func, n in zip(self.request.chain, counts):
+            if n == 0:
+                return 0.0
+            reliability *= 1.0 - (1.0 - func.reliability) ** n
+        return reliability
+
+    def meets_slo(self) -> bool:
+        """Whether the live configuration still satisfies ``rho_j``."""
+        return self.request.meets_expectation(self.live_reliability())
+
+    def instances_at(self, position: int, alive_only: bool = True) -> list[LiveInstance]:
+        """Instances of one chain position, optionally live only."""
+        return [
+            inst
+            for inst in self.instances
+            if inst.position == position and (inst.alive or not alive_only)
+        ]
+
+    def kill_on_cloudlet(self, cloudlet: int) -> list[LiveInstance]:
+        """Mark every live instance hosted on ``cloudlet`` dead.
+
+        Returns the instances killed (their tags identify the allocations
+        the caller must release).  Used by cloudlet-outage handling.
+        """
+        killed = []
+        for inst in self.instances:
+            if inst.alive and inst.cloudlet == cloudlet:
+                inst.alive = False
+                killed.append(inst)
+        return killed
+
+    def describe(self) -> str:
+        """One-line live-state summary for logs."""
+        counts = self.live_counts()
+        return (
+            f"{self.name}: live={counts} reliability={self.live_reliability():.4f} "
+            f"rho={self.expectation:.4f} slo_ok={self.meets_slo()}"
+        )

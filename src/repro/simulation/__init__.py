@@ -27,10 +27,15 @@ time-domain validation of the reliability algebra.
 """
 
 from repro.simulation.engine import EventQueue, ScheduledEvent
-from repro.simulation.lifecycle import InstanceProcess, rates_for_reliability
+from repro.simulation.lifecycle import (
+    CloudletProcess,
+    InstanceProcess,
+    rates_for_reliability,
+)
 from repro.simulation.runner import SimulationConfig, SimulationReport, simulate_solution
 
 __all__ = [
+    "CloudletProcess",
     "EventQueue",
     "InstanceProcess",
     "ScheduledEvent",

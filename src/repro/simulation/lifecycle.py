@@ -80,3 +80,55 @@ class InstanceProcess:
         if math.isinf(self.mttf):
             return 1.0
         return self.mttf / (self.mttf + self.mttr)
+
+
+@dataclass
+class CloudletProcess:
+    """The UP/DOWN state of a whole cloudlet (correlated-failure extension).
+
+    A cloudlet outage (power loss, uplink cut, host crash) takes down every
+    instance it hosts at once -- the failure correlation the paper's
+    independence-based algebra cannot see and
+    :mod:`repro.netmodel.failures` measures.  Sojourn times are exponential
+    like the instance processes: up ~ Exp(MTBF), down ~ Exp(MTTR).
+
+    Attributes
+    ----------
+    cloudlet:
+        The cloudlet node id.
+    mtbf:
+        Mean up time between outages; ``math.inf`` means the cloudlet
+        never fails (disables the process).
+    mttr:
+        Mean outage duration.
+    up:
+        Current state.
+    """
+
+    cloudlet: int
+    mtbf: float
+    mttr: float
+    up: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mtbf <= 0:
+            raise ValidationError(f"cloudlet mtbf must be positive, got {self.mtbf}")
+        if self.mttr <= 0 or math.isinf(self.mttr):
+            raise ValidationError(f"cloudlet mttr must be positive and finite, got {self.mttr}")
+
+    def sample_uptime(self, rng: np.random.Generator) -> float:
+        """Draw the next time-to-outage (inf for never-failing cloudlets)."""
+        if math.isinf(self.mtbf):
+            return math.inf
+        return float(rng.exponential(self.mtbf))
+
+    def sample_downtime(self, rng: np.random.Generator) -> float:
+        """Draw the duration of the next outage."""
+        return float(rng.exponential(self.mttr))
+
+    @property
+    def availability(self) -> float:
+        """Steady-state availability implied by the rates."""
+        if math.isinf(self.mtbf):
+            return 1.0
+        return self.mtbf / (self.mtbf + self.mttr)

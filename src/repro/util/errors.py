@@ -39,3 +39,27 @@ class InfeasibleError(ReproError):
     the empty placement is always feasible -- so seeing this error indicates
     a malformed model.
     """
+
+
+class SolveTimeoutError(ReproError):
+    """A solver exceeded its wall-clock budget.
+
+    Raised by :class:`repro.algorithms.fallback.FallbackAlgorithm` when one
+    tier of the chain runs past its per-solve timeout; the chain catches it
+    and degrades to the next tier, so callers only ever see it when they
+    invoke a timed solve directly.
+    """
+
+
+class FallbackExhaustedError(ReproError):
+    """Every tier of a solver fallback chain failed or timed out.
+
+    Carries the per-tier failures in :attr:`failures` as ``(tier_name,
+    error_string)`` pairs so the caller can log what went wrong at each
+    level before degrading to a no-augmentation outcome.
+    """
+
+    def __init__(self, failures: list[tuple[str, str]]):
+        self.failures = list(failures)
+        detail = "; ".join(f"{name}: {err}" for name, err in self.failures)
+        super().__init__(f"all fallback tiers failed ({detail})")

@@ -117,3 +117,32 @@ class TestMain:
         out = capsys.readouterr().out
         assert rc == 0
         assert "abl-truncation" in out
+
+
+class TestResilientCommand:
+    def test_parser_defaults_and_choices(self):
+        args = build_parser().parse_args(["resilient"])
+        assert args.scenario == "outages"
+        assert args.algorithm == "fallback"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resilient", "--scenario", "bogus"])
+
+    def test_resilient_smoke(self, capsys):
+        rc = main(
+            [
+                "resilient",
+                "--scenario",
+                "outages",
+                "--requests",
+                "4",
+                "--seed",
+                "3",
+                "--algorithm",
+                "heuristic",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mean availability" in out
+        assert "ledger invariant violations" in out
+        assert "repair" in out

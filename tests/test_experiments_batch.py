@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import pytest
 
+from repro.algorithms.base import AugmentationAlgorithm
 from repro.algorithms.baselines import GreedyGain
 from repro.algorithms.heuristic import MatchingHeuristic
+from repro.core.solution import AugmentationResult, AugmentationSolution, Placement
 from repro.experiments.batch import BatchReport, BatchRequestOutcome, run_request_stream
 from repro.experiments.settings import ExperimentSettings
 
@@ -99,3 +101,64 @@ class TestRunRequestStream:
             stream_settings, MatchingHeuristic(), 5, rng=9, network=network
         )
         assert report.num_requests == 5
+
+
+class OvershootingSolver(AugmentationAlgorithm):
+    """Returns a placement far beyond any cloudlet's capacity.
+
+    Models a buggy or violation-prone backend; committing its solution must
+    raise a mid-commit CapacityError inside the stream loop.
+    """
+
+    name = "Overshoot"
+
+    def solve(self, problem, rng=None):
+        bin_ = next(iter(problem.residuals))
+        solution = AugmentationSolution(
+            placements=(
+                Placement(position=0, k=1, bin=bin_, demand=1e12, gain=0.1, cost=1.0),
+            )
+        )
+        return AugmentationResult(
+            algorithm=self.name,
+            solution=solution,
+            reliability=0.5,
+            runtime_seconds=0.0,
+            expectation_met=False,
+        )
+
+
+class TestTransactionalCommit:
+    """A mid-commit CapacityError must leave the ledger untouched."""
+
+    def test_overshooting_commit_rejects_and_leaks_nothing(self, stream_settings):
+        report = run_request_stream(stream_settings, OvershootingSolver(), 5, rng=0)
+        # every arrival placed primaries, then blew up mid-commit; the
+        # rollback must reclaim the primaries too, so the final ledger is
+        # byte-identical to the empty initial state
+        assert report.num_requests == 5
+        assert report.acceptance_rate == 0.0
+        assert all(not o.admitted and o.backups == 0 for o in report.outcomes)
+        assert report.final_utilisation == 0.0
+
+    def test_stream_continues_after_mid_commit_failure(self, stream_settings):
+        class FlakySolver(AugmentationAlgorithm):
+            """Overshoots on the second request only."""
+
+            name = "Flaky"
+
+            def __init__(self):
+                self.calls = 0
+                self.inner = MatchingHeuristic()
+                self.overshoot = OvershootingSolver()
+
+            def solve(self, problem, rng=None):
+                self.calls += 1
+                if self.calls == 2:
+                    return self.overshoot.solve(problem, rng=rng)
+                return self.inner.solve(problem, rng=rng)
+
+        report = run_request_stream(stream_settings, FlakySolver(), 3, rng=0)
+        assert [o.admitted for o in report.outcomes] == [True, False, True]
+        # later requests still commit normally against an uncorrupted ledger
+        assert report.outcomes[2].backups > 0

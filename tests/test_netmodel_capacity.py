@@ -190,3 +190,59 @@ class TestPropertyBased:
         ledger.rollback(mark)
         for v, residual in snapshot.items():
             assert ledger.residual(v) == pytest.approx(residual)
+
+
+class TestReleaseTag:
+    def test_releases_all_matching(self, ledger):
+        ledger.allocate(0, 10.0, tag="req-1")
+        ledger.allocate(1, 5.0, tag="req-1")
+        ledger.allocate(0, 7.0, tag="req-2")
+        released = ledger.release_tag("req-1")
+        assert released == pytest.approx(15.0)
+        assert ledger.residual(0) == pytest.approx(100.0 - 7.0)
+        assert ledger.residual(1) == pytest.approx(50.0)
+        assert [a.tag for a in ledger.journal] == ["req-2"]
+
+    def test_unknown_tag_is_noop(self, ledger):
+        ledger.allocate(0, 10.0, tag="req-1")
+        before = ledger.residuals()
+        assert ledger.release_tag("nope") == 0.0
+        assert ledger.residuals() == before
+        assert len(ledger.journal) == 1
+
+    def test_empty_tag_only_matches_empty(self, ledger):
+        ledger.allocate(0, 10.0)  # default tag ""
+        ledger.allocate(0, 4.0, tag="keep")
+        assert ledger.release_tag("") == pytest.approx(10.0)
+        assert [a.tag for a in ledger.journal] == ["keep"]
+
+    def test_tagged_listing(self, ledger):
+        a = ledger.allocate(0, 10.0, tag="x")
+        ledger.allocate(1, 5.0, tag="y")
+        b = ledger.allocate(0, 2.0, tag="x")
+        assert ledger.tagged("x") == [a, b]
+        assert ledger.tagged("z") == []
+
+    def test_release_then_reallocate_cycle(self, ledger):
+        """A release frees exactly the capacity to re-admit the same load."""
+        ledger.allocate(1, 50.0, tag="full")
+        with pytest.raises(CapacityError):
+            ledger.allocate(1, 1.0)
+        ledger.release_tag("full")
+        ledger.allocate(1, 50.0, tag="again")  # must fit again
+        assert ledger.residual(1) == pytest.approx(0.0)
+
+    @given(
+        tags=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=30),
+        victim=st.sampled_from(["a", "b", "c"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_release_tag_equals_sum_of_matches(self, tags, victim):
+        ledger = CapacityLedger({0: 1e6})
+        for i, tag in enumerate(tags):
+            ledger.allocate(0, float(i + 1), tag=tag)
+        expected = sum(i + 1 for i, tag in enumerate(tags) if tag == victim)
+        used_before = ledger.used(0)
+        assert ledger.release_tag(victim) == pytest.approx(float(expected))
+        assert ledger.used(0) == pytest.approx(used_before - expected)
+        assert all(a.tag != victim for a in ledger.journal)

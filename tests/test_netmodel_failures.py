@@ -161,3 +161,66 @@ class TestDiversityMetrics:
         spread = _solution(small_problem, {(0, 1): 0, (1, 1): 1, (2, 1): 2})
         exposure = co_failure_exposure(small_problem, spread)
         assert exposure == {}
+
+
+class TestCloudletFailureClosedForms:
+    """Quantitative checks: the simulator agrees with hand-derived closed
+    forms when only one cloudlet can fail (positions stay independent)."""
+
+    Q = 0.25  # failure probability of the one faulty cloudlet
+
+    def test_colocated_matches_closed_form(self, small_problem):
+        # primary and backup of position 0 both on cloudlet 1, which fails
+        # with probability Q and takes both down together:
+        #   pos0 = (1-Q) * (1 - 0.2^2), pos1 = 0.85, pos2 = 0.9
+        colocated = _solution(small_problem, {(0, 1): 1})
+        expected = (1 - self.Q) * (1 - 0.2**2) * 0.85 * 0.9
+        estimate = simulate_chain_reliability(
+            small_problem,
+            colocated,
+            trials=40_000,
+            cloudlet_failure_prob={1: self.Q},
+            rng=21,
+        )
+        assert estimate.within(expected)
+
+    def test_spread_matches_closed_form(self, small_problem):
+        # backup moved to cloudlet 0, out of the blast radius: the primary
+        # is up with (1-Q)*0.8, the backup with plain 0.8, independently:
+        #   pos0 = 1 - (1 - (1-Q)*0.8) * (1 - 0.8)
+        spread = _solution(small_problem, {(0, 1): 0})
+        pos0 = 1 - (1 - (1 - self.Q) * 0.8) * (1 - 0.8)
+        expected = pos0 * 0.85 * 0.9
+        estimate = simulate_chain_reliability(
+            small_problem,
+            spread,
+            trials=40_000,
+            cloudlet_failure_prob={1: self.Q},
+            rng=22,
+        )
+        assert estimate.within(expected)
+
+    def test_closed_forms_rank_spread_above_colocated(self):
+        # the same algebra explains *why* diversity wins
+        colocated = (1 - self.Q) * (1 - 0.2**2)
+        spread = 1 - (1 - (1 - self.Q) * 0.8) * (1 - 0.8)
+        assert spread > colocated
+
+
+class TestInstanceModeMatchesEq1:
+    """Instance-only mode converges to Eq. 1 across redundancy depths."""
+
+    @pytest.mark.parametrize("seed,backups", [(31, 0), (32, 1), (33, 2)])
+    def test_within_four_sigma(self, small_problem, seed, backups):
+        assignments = {}
+        for pos, items in small_problem.grouped_items().items():
+            for it in items[:backups]:
+                assignments[(pos, it.k)] = it.bins[0]
+        solution = _solution(small_problem, assignments)
+        expected = chain_reliability(
+            small_problem.reliabilities, solution.backup_counts(3)
+        )
+        estimate = simulate_chain_reliability(
+            small_problem, solution, trials=40_000, rng=seed
+        )
+        assert estimate.within(expected, sigmas=4.0)

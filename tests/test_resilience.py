@@ -1,0 +1,443 @@
+"""Unit tests for the resilience subsystem: state, injector, repair, metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.netmodel.capacity import CapacityLedger
+from repro.netmodel.graph import MECNetwork
+from repro.netmodel.vnf import Request, ServiceFunctionChain, VNFCatalog, VNFType
+from repro.resilience.injector import (
+    CLOUDLET_FAIL,
+    CLOUDLET_RECOVER,
+    INSTANCE_FAIL,
+    FailureConfig,
+    FailureInjector,
+)
+from repro.resilience.metrics import MetricsTracker, RequestOutcome
+from repro.resilience.repair import RepairController, RepairPolicy
+from repro.resilience.state import CommittedChain, LiveInstance
+from repro.simulation.engine import EventQueue
+from repro.topology.families import line_topology
+from repro.util.errors import ReproError, ValidationError
+
+
+# -- fixtures -------------------------------------------------------------------
+@pytest.fixture
+def network() -> MECNetwork:
+    """5-node path, every node a cloudlet with capacity 2000."""
+    return MECNetwork(line_topology(5), {v: 2000.0 for v in range(5)})
+
+
+@pytest.fixture
+def catalog() -> VNFCatalog:
+    return VNFCatalog(
+        [
+            VNFType("fw", demand=200.0, reliability=0.8),
+            VNFType("nat", demand=300.0, reliability=0.85),
+            VNFType("ids", demand=250.0, reliability=0.9),
+        ]
+    )
+
+
+@pytest.fixture
+def request_(catalog: VNFCatalog) -> Request:
+    chain = ServiceFunctionChain([catalog["fw"], catalog["nat"], catalog["ids"]])
+    return Request("req-x", chain, expectation=0.9)
+
+
+def build_chain(
+    request: Request,
+    ledger: CapacityLedger,
+    hosts: list[list[int]],
+) -> CommittedChain:
+    """Place ``hosts[position]`` instances for each position, allocating in
+    the ledger; the first host of each position is the anchor."""
+    instances = []
+    for position, (func, host_list) in enumerate(zip(request.chain, hosts)):
+        for k, host in enumerate(host_list):
+            tag = f"inst:{request.name}#{position}.{k}"
+            ledger.allocate(host, func.demand, tag=tag)
+            instances.append(
+                LiveInstance(
+                    position=position,
+                    cloudlet=host,
+                    demand=func.demand,
+                    reliability=func.reliability,
+                    tag=tag,
+                )
+            )
+    return CommittedChain(
+        request=request,
+        instances=instances,
+        anchors=tuple(h[0] for h in hosts),
+        met_at_commit=request.meets_expectation(0.0),
+    )
+
+
+# -- live state -----------------------------------------------------------------
+class TestCommittedChain:
+    def test_live_reliability_matches_closed_form(self, request_):
+        ledger = CapacityLedger({0: 5000.0})
+        chain = build_chain(request_, ledger, [[0], [0], [0]])
+        # one instance per position: r = 0.8 * 0.85 * 0.9
+        assert chain.live_reliability() == pytest.approx(0.8 * 0.85 * 0.9)
+
+        # a backup at position 0: (1 - 0.2^2) * 0.85 * 0.9
+        ledger.allocate(0, 200.0, tag="extra")
+        chain.instances.append(
+            LiveInstance(position=0, cloudlet=0, demand=200.0, reliability=0.8, tag="extra")
+        )
+        assert chain.live_reliability() == pytest.approx((1 - 0.2**2) * 0.85 * 0.9)
+
+    def test_dead_position_zeroes_reliability(self, request_):
+        ledger = CapacityLedger({0: 5000.0})
+        chain = build_chain(request_, ledger, [[0], [0], [0]])
+        chain.instances[1].alive = False
+        assert chain.live_counts() == [1, 0, 1]
+        assert chain.live_reliability() == 0.0
+        assert not chain.meets_slo()
+
+    def test_kill_on_cloudlet_returns_only_live_matches(self, request_):
+        ledger = CapacityLedger({0: 5000.0, 1: 5000.0})
+        chain = build_chain(request_, ledger, [[0, 1], [1], [0]])
+        chain.instances[0].alive = False  # already dead on cloudlet 0
+        killed = chain.kill_on_cloudlet(0)
+        assert [inst.position for inst in killed] == [2]
+        assert all(not inst.alive for inst in killed)
+        # idempotent: nothing live remains on 0
+        assert chain.kill_on_cloudlet(0) == []
+
+    def test_instances_at_filters_by_liveness(self, request_):
+        ledger = CapacityLedger({0: 5000.0})
+        chain = build_chain(request_, ledger, [[0, 0], [0], [0]])
+        chain.instances[0].alive = False
+        assert len(chain.instances_at(0)) == 1
+        assert len(chain.instances_at(0, alive_only=False)) == 2
+
+
+# -- configuration validation ---------------------------------------------------
+class TestConfigValidation:
+    def test_failure_config_rejects_bad_values(self):
+        with pytest.raises(ValidationError):
+            FailureConfig(instance_mttr=0.0)
+        with pytest.raises(ValidationError):
+            FailureConfig(instance_acceleration=-1.0)
+        with pytest.raises(ValidationError):
+            FailureConfig(cloudlet_mtbf=0.0)
+        with pytest.raises(ValidationError):
+            FailureConfig(cloudlet_mttr=math.inf)
+
+    def test_repair_policy_rejects_bad_values(self):
+        with pytest.raises(ValidationError):
+            RepairPolicy(max_attempts=0)
+        with pytest.raises(ValidationError):
+            RepairPolicy(repair_delay=-0.1)
+        with pytest.raises(ValidationError):
+            RepairPolicy(backoff=0.0)
+        with pytest.raises(ValidationError):
+            RepairPolicy(backoff_factor=0.5)
+
+    def test_retry_delay_is_exponential(self):
+        policy = RepairPolicy(backoff=0.25, backoff_factor=2.0)
+        assert policy.retry_delay(1) == pytest.approx(0.25)
+        assert policy.retry_delay(2) == pytest.approx(0.5)
+        assert policy.retry_delay(3) == pytest.approx(1.0)
+
+
+# -- failure injector -----------------------------------------------------------
+def make_injector(network, ledger, config=None, seed=0):
+    queue = EventQueue()
+    injector = FailureInjector(
+        network, ledger, queue, config or FailureConfig(), np.random.default_rng(seed)
+    )
+    return injector, queue
+
+
+class TestFailureInjector:
+    def test_register_duplicate_raises(self, network, request_):
+        ledger = CapacityLedger(network.capacities)
+        injector, _ = make_injector(network, ledger, FailureConfig(instance_acceleration=0.0))
+        chain = build_chain(request_, ledger, [[0], [1], [2]])
+        injector.register(chain, now=0.0)
+        with pytest.raises(ValidationError):
+            injector.register(chain, now=0.0)
+
+    def test_attach_schedules_failures_for_imperfect_instances(self, network, request_):
+        ledger = CapacityLedger(network.capacities)
+        injector, queue = make_injector(network, ledger)
+        chain = build_chain(request_, ledger, [[0], [1], [2]])
+        ledger.allocate(0, 100.0, tag="perfect")
+        chain.instances.append(
+            LiveInstance(position=0, cloudlet=0, demand=100.0, reliability=1.0, tag="perfect")
+        )
+        injector.register(chain, now=0.0)
+        # 3 imperfect instances get events; the perfect one never fails
+        assert len(queue) == 3
+
+    def test_acceleration_zero_disables_instance_failures(self, network, request_):
+        ledger = CapacityLedger(network.capacities)
+        injector, queue = make_injector(
+            network, ledger, FailureConfig(instance_acceleration=0.0)
+        )
+        chain = build_chain(request_, ledger, [[0], [1], [2]])
+        injector.register(chain, now=0.0)
+        assert len(queue) == 0
+
+    def test_instance_fail_releases_capacity_once(self, network, request_):
+        ledger = CapacityLedger(network.capacities)
+        injector, _ = make_injector(network, ledger, FailureConfig(instance_acceleration=0.0))
+        chain = build_chain(request_, ledger, [[0], [1], [2]])
+        injector.register(chain, now=0.0)
+        tag = chain.instances[0].tag
+        used_before = ledger.used(0)
+
+        affected = injector.handle((INSTANCE_FAIL, chain.name, tag))
+        assert affected == [chain]
+        assert not chain.instances[0].alive
+        assert ledger.used(0) == pytest.approx(used_before - 200.0)
+        assert injector.counts[INSTANCE_FAIL] == 1
+
+        # a stale event for the same (already dead) instance is a no-op
+        assert injector.handle((INSTANCE_FAIL, chain.name, tag)) == []
+        assert injector.counts[INSTANCE_FAIL] == 1
+
+    def test_cloudlet_outage_blockades_and_recovery_releases(self, network, request_):
+        ledger = CapacityLedger(network.capacities)
+        config = FailureConfig(
+            instance_acceleration=0.0, cloudlet_mtbf=10.0, cloudlet_mttr=1.0
+        )
+        injector, queue = make_injector(network, ledger, config)
+        injector.start()
+        chain = build_chain(request_, ledger, [[0], [0], [1]])
+        injector.register(chain, now=0.0)
+
+        affected = injector.handle((CLOUDLET_FAIL, 0))
+        assert affected == [chain]
+        assert injector.is_down(0)
+        assert injector.down_cloudlets == [0]
+        # both instances on 0 are dead, and the blockade absorbs the full
+        # capacity: nothing can be placed there during the outage
+        assert chain.live_counts() == [0, 0, 1]
+        assert ledger.residual(0) == pytest.approx(0.0)
+        assert not ledger.fits(0, 1.0)
+        assert ledger.used(0) <= ledger.initial(0)
+
+        # a recovery event is queued; applying it releases the blockade but
+        # does not resurrect instances
+        assert injector.handle((CLOUDLET_RECOVER, 0)) == []
+        assert not injector.is_down(0)
+        assert ledger.residual(0) == pytest.approx(ledger.initial(0))
+        assert chain.live_counts() == [0, 0, 1]
+        assert not ledger.violations()
+
+    def test_duplicate_outage_event_is_noop(self, network, request_):
+        ledger = CapacityLedger(network.capacities)
+        config = FailureConfig(
+            instance_acceleration=0.0, cloudlet_mtbf=10.0, cloudlet_mttr=1.0
+        )
+        injector, _ = make_injector(network, ledger, config)
+        injector.start()
+        injector.handle((CLOUDLET_FAIL, 2))
+        assert injector.handle((CLOUDLET_FAIL, 2)) == []
+        assert injector.counts[CLOUDLET_FAIL] == 1
+
+
+# -- repair controller ----------------------------------------------------------
+class CrashingSolver:
+    """Duck-typed algorithm that always raises a ReproError subtype."""
+
+    name = "Crash"
+
+    def solve(self, problem, rng=None):
+        raise ReproError("solver exploded")
+
+
+def make_repairer(network, ledger, algorithm=None, policy=None):
+    injector, queue = make_injector(
+        network, ledger, FailureConfig(instance_acceleration=0.0)
+    )
+    repairer = RepairController(
+        network,
+        ledger,
+        injector,
+        algorithm or MatchingHeuristic(),
+        radius=2,
+        policy=policy,
+    )
+    return repairer, injector
+
+
+class TestRepairController:
+    def degrade(self, chain, ledger, position, count=1):
+        """Kill ``count`` live instances at ``position``, releasing capacity."""
+        for inst in chain.instances_at(position)[:count]:
+            inst.alive = False
+            ledger.release_tag(inst.tag)
+
+    def test_healthy_chain_is_a_noop(self, network, request_):
+        ledger = CapacityLedger(network.capacities)
+        repairer, injector = make_repairer(network, ledger)
+        chain = build_chain(request_, ledger, [[0, 1], [1, 2], [2, 3, 4]])
+        injector.register(chain, now=0.0)
+        assert chain.meets_slo()
+
+        outcome = repairer.repair(chain, now=1.0)
+        assert outcome.restored and outcome.attempt == 0 and outcome.placed == 0
+        assert outcome.reason == "already healthy"
+
+    def test_repair_restores_degraded_chain(self, network, request_):
+        ledger = CapacityLedger(network.capacities)
+        repairer, injector = make_repairer(network, ledger)
+        chain = build_chain(request_, ledger, [[0, 1], [1, 2], [2, 3, 4]])
+        injector.register(chain, now=0.0)
+        self.degrade(chain, ledger, position=0, count=1)
+        self.degrade(chain, ledger, position=2, count=2)
+        assert not chain.meets_slo()
+
+        outcome = repairer.repair(chain, now=1.0)
+        assert outcome.restored
+        assert outcome.placed > 0
+        assert chain.meets_slo()
+        assert chain.repair_attempts == 0  # reset on success
+        # replacements carry unique repair tags backed by real allocations
+        repairs = [i for i in chain.instances if i.tag.startswith("repair:")]
+        assert len(repairs) == outcome.placed
+        assert not ledger.violations()
+
+    def test_repair_reseeds_dead_position(self, network, request_):
+        ledger = CapacityLedger(network.capacities)
+        repairer, injector = make_repairer(network, ledger)
+        chain = build_chain(request_, ledger, [[0, 1], [1, 2], [2, 3, 4]])
+        injector.register(chain, now=0.0)
+        self.degrade(chain, ledger, position=1, count=2)  # whole position dead
+        assert chain.live_reliability() == 0.0
+
+        outcome = repairer.repair(chain, now=1.0)
+        assert outcome.restored
+        assert chain.live_counts()[1] >= 1
+        assert chain.meets_slo()
+
+    def test_unrepairable_when_no_host_fits(self, network, request_):
+        ledger = CapacityLedger(network.capacities)
+        repairer, injector = make_repairer(network, ledger)
+        chain = build_chain(request_, ledger, [[0], [1], [2]])
+        injector.register(chain, now=0.0)
+        self.degrade(chain, ledger, position=1, count=1)
+        # saturate every cloudlet so no replacement can fit anywhere
+        for v in network.cloudlets:
+            residual = ledger.residual(v)
+            if residual > 0:
+                ledger.allocate(v, residual, tag=f"filler:{v}")
+        used_before = {v: ledger.used(v) for v in ledger.nodes}
+
+        outcome = repairer.repair(chain, now=1.0)
+        assert not outcome.restored
+        assert outcome.retriable  # budget not yet exhausted
+        assert outcome.placed == 0
+        # the failed transaction rolled back completely
+        assert {v: ledger.used(v) for v in ledger.nodes} == used_before
+
+    def test_attempt_budget_exhausts(self, network, request_):
+        ledger = CapacityLedger(network.capacities)
+        policy = RepairPolicy(max_attempts=2)
+        repairer, injector = make_repairer(network, ledger, policy=policy)
+        chain = build_chain(request_, ledger, [[0], [1], [2]])
+        injector.register(chain, now=0.0)
+        self.degrade(chain, ledger, position=1, count=1)
+        for v in network.cloudlets:
+            residual = ledger.residual(v)
+            if residual > 0:
+                ledger.allocate(v, residual, tag=f"filler:{v}")
+
+        first = repairer.repair(chain, now=1.0)
+        second = repairer.repair(chain, now=2.0)
+        assert first.retriable and first.attempt == 1
+        assert not second.retriable and second.attempt == 2
+
+    def test_solver_failure_rolls_back(self, network, request_):
+        ledger = CapacityLedger(network.capacities)
+        repairer, injector = make_repairer(network, ledger, algorithm=CrashingSolver())
+        chain = build_chain(request_, ledger, [[0, 1], [1, 2], [2, 3, 4]])
+        injector.register(chain, now=0.0)
+        # degrade without killing a whole position, so the re-seed phase
+        # succeeds and the crash happens mid-transaction
+        self.degrade(chain, ledger, position=0, count=1)
+        self.degrade(chain, ledger, position=2, count=2)
+        used_before = {v: ledger.used(v) for v in ledger.nodes}
+
+        outcome = repairer.repair(chain, now=1.0)
+        assert not outcome.restored
+        assert outcome.reason == "solver failure: ReproError"
+        assert {v: ledger.used(v) for v in ledger.nodes} == used_before
+        assert all(not i.tag.startswith("repair:") for i in chain.instances)
+
+
+# -- metrics --------------------------------------------------------------------
+def outcome(name="r0", tier=None, algorithm="Heuristic", admitted=True):
+    return RequestOutcome(
+        name=name,
+        arrived_at=0.0,
+        admitted=admitted,
+        reliability=0.99,
+        expectation=0.95,
+        expectation_met=admitted,
+        backups=3,
+        fallback_tier=tier,
+        fallback_algorithm=algorithm if admitted else None,
+    )
+
+
+class TestMetricsTracker:
+    def test_duplicate_commit_raises(self):
+        tracker = MetricsTracker()
+        tracker.on_commit("c", now=0.0, slo_ok=True)
+        with pytest.raises(ValidationError):
+            tracker.on_commit("c", now=1.0, slo_ok=True)
+
+    def test_breach_integration_and_mttr(self):
+        tracker = MetricsTracker()
+        tracker.on_commit("c", now=0.0, slo_ok=True)
+        tracker.on_state("c", now=2.0, slo_ok=False)  # breach
+        tracker.on_state("c", now=2.5, slo_ok=False)  # still down: no double count
+        tracker.on_state("c", now=5.0, slo_ok=True)  # restored
+        report = tracker.finalize(horizon=10.0)
+
+        timeline = report.timelines["c"]
+        assert timeline.breaches == 1 and timeline.restorations == 1
+        assert timeline.time_below == pytest.approx(3.0)
+        assert report.mttr_samples == [pytest.approx(3.0)]
+        assert report.availability("c") == pytest.approx(1.0 - 3.0 / 10.0)
+
+    def test_open_breach_closed_at_horizon(self):
+        tracker = MetricsTracker()
+        tracker.on_commit("c", now=0.0, slo_ok=True)
+        tracker.on_state("c", now=8.0, slo_ok=False)
+        report = tracker.finalize(horizon=10.0)
+        assert report.timelines["c"].time_below == pytest.approx(2.0)
+        assert report.mttr_samples == []  # never restored, not an MTTR sample
+
+    def test_tier_histogram_keys(self):
+        tracker = MetricsTracker()
+        tracker.on_outcome(outcome(name="a", tier=0, algorithm="ILP"))
+        tracker.on_outcome(outcome(name="b", tier=2, algorithm="Heuristic"))
+        tracker.on_outcome(outcome(name="c", tier=None, algorithm="Heuristic"))
+        tracker.on_outcome(outcome(name="d", admitted=False, algorithm=None))
+        report = tracker.finalize(horizon=1.0)
+        assert report.tier_histogram == {
+            "tier 0 (ILP)": 1,
+            "tier 2 (Heuristic)": 1,
+            "Heuristic": 1,
+        }
+
+    def test_acceptance_and_repair_rates(self):
+        tracker = MetricsTracker()
+        tracker.on_outcome(outcome(name="a"))
+        tracker.on_outcome(outcome(name="b", admitted=False))
+        report = tracker.finalize(horizon=1.0)
+        assert report.acceptance_rate == pytest.approx(0.5)
+        assert report.repair_success_rate == 0.0  # no attempts -> no crash

@@ -1,0 +1,180 @@
+"""End-to-end tests of the fault-tolerant request-stream controller.
+
+Pins the acceptance criteria of the resilience subsystem:
+
+* under a fixed seed, injected cloudlet failures degrade several committed
+  chains below ``rho_j`` and the repair controller restores every
+  repairable one, with the ledger invariant ``used(v) <= initial(v)``
+  holding at every event time;
+* a fallback chain whose first tier crashes serves requests from a lower
+  tier, records the serving tier, and never propagates the exception;
+* a fixed seed makes the whole run bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.algorithms.base import AugmentationAlgorithm
+from repro.algorithms.fallback import FallbackAlgorithm, FallbackTier
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.experiments.settings import ExperimentSettings
+from repro.resilience import (
+    FailureConfig,
+    ResilienceConfig,
+    run_resilient_stream,
+)
+from repro.util.errors import ValidationError
+
+
+class CrashingSolver(AugmentationAlgorithm):
+    """First-tier stand-in that always raises (a solver backend bug)."""
+
+    name = "Crash"
+
+    def __init__(self):
+        self.calls = 0
+
+    def solve(self, problem, rng=None):
+        self.calls += 1
+        raise RuntimeError("backend exploded")
+
+
+@pytest.fixture
+def settings() -> ExperimentSettings:
+    """Small topology with enough slack capacity for repairs to succeed."""
+    return ExperimentSettings(
+        num_aps=30,
+        cloudlet_fraction=0.2,
+        capacity_range=(9000.0, 14000.0),
+        sfc_length_range=(3, 5),
+        radius=2,
+        trials=1,
+    )
+
+
+OUTAGE_ONLY = ResilienceConfig(
+    horizon=30.0,
+    failures=FailureConfig(
+        instance_acceleration=0.0, cloudlet_mtbf=10.0, cloudlet_mttr=1.5
+    ),
+)
+
+QUIET = ResilienceConfig(horizon=10.0, failures=FailureConfig(instance_acceleration=0.0))
+
+
+class TestFaultInjectionEndToEnd:
+    """The headline scenario: outages degrade chains, repairs restore them."""
+
+    def test_outages_degrade_and_repairs_restore(self, settings):
+        report = run_resilient_stream(
+            settings, MatchingHeuristic(), 8, config=OUTAGE_ONLY, rng=3
+        )
+        # the failure process actually ran and hurt committed chains
+        assert report.event_counts["cloudlet-fail"] > 0
+        assert report.chains_degraded >= 3
+        assert report.time_below_slo > 0.0
+        # every repairable chain was restored: none exhausted its budget,
+        # and every chain ends the run back at/above its expectation
+        assert report.chains_unrepairable == 0
+        assert report.repair_attempts > 0
+        assert report.repair_successes > 0
+        assert all(t.slo_ok for t in report.timelines.values())
+        assert 0.0 < report.mean_availability < 1.0
+        assert report.mttr > 0.0
+        # the ledger invariant used(v) <= initial(v) held after every event
+        assert report.invariant_violations == 0
+        assert 0.0 <= report.final_utilisation <= 1.0
+
+    def test_no_failures_no_degradation(self, settings):
+        report = run_resilient_stream(
+            settings, MatchingHeuristic(), 6, config=QUIET, rng=3
+        )
+        assert report.event_counts["cloudlet-fail"] == 0
+        assert report.event_counts["instance-fail"] == 0
+        assert report.chains_degraded == 0
+        assert report.repair_attempts == 0
+        assert report.time_below_slo == 0.0
+        assert report.mean_availability == pytest.approx(1.0)
+
+    def test_fixed_seed_is_reproducible(self, settings):
+        first = run_resilient_stream(
+            settings, MatchingHeuristic(), 6, config=OUTAGE_ONLY, rng=11
+        )
+        second = run_resilient_stream(
+            settings, MatchingHeuristic(), 6, config=OUTAGE_ONLY, rng=11
+        )
+        assert first.summary_rows() == second.summary_rows()
+        assert first.outcomes == second.outcomes
+        assert [dataclasses.astuple(r) for r in first.repairs] == [
+            dataclasses.astuple(r) for r in second.repairs
+        ]
+        assert {n: t.time_below for n, t in first.timelines.items()} == {
+            n: t.time_below for n, t in second.timelines.items()
+        }
+
+    def test_validates_num_requests(self, settings):
+        with pytest.raises(ValidationError):
+            run_resilient_stream(settings, MatchingHeuristic(), -1, config=QUIET)
+
+
+class TestFallbackInStream:
+    """Solver fault tolerance: crashes degrade tiers, never the stream."""
+
+    def test_crashing_first_tier_served_by_lower_tier(self, settings):
+        crash = CrashingSolver()
+        chain = FallbackAlgorithm(
+            [FallbackTier(crash), FallbackTier(MatchingHeuristic())]
+        )
+        report = run_resilient_stream(settings, chain, 5, config=QUIET, rng=3)
+
+        admitted = [o for o in report.outcomes if o.admitted]
+        assert admitted, "scenario must admit requests for the test to bite"
+        assert crash.calls >= len(admitted)  # tier 0 was tried every time
+        for o in admitted:
+            assert o.fallback_tier == 1
+            assert o.fallback_algorithm == MatchingHeuristic.name
+        assert report.tier_histogram == {
+            f"tier 1 ({MatchingHeuristic.name})": len(admitted)
+        }
+
+    def test_exhausted_fallback_degrades_to_no_augmentation(self, settings):
+        chain = FallbackAlgorithm([FallbackTier(CrashingSolver())])
+        # never raises: the stream downgrades to a primaries-only commit
+        report = run_resilient_stream(settings, chain, 4, config=QUIET, rng=3)
+        admitted = [o for o in report.outcomes if o.admitted]
+        assert admitted
+        for o in admitted:
+            assert o.backups == 0
+            assert o.fallback_algorithm == "none"
+            assert not o.expectation_met
+
+
+class TestScenarioModule:
+    def test_unknown_scenario_rejected(self):
+        from repro.experiments.resilience import run_fault_scenario
+
+        with pytest.raises(ValidationError):
+            run_fault_scenario("bogus", MatchingHeuristic())
+
+    def test_quiet_scenario_is_the_control(self):
+        from repro.experiments.resilience import run_fault_scenario
+
+        report = run_fault_scenario("quiet", MatchingHeuristic(), 4, rng=2)
+        assert report.chains_degraded == 0
+        assert report.mean_availability == pytest.approx(1.0)
+
+    def test_outage_sweep_rows(self):
+        from repro.experiments.resilience import run_outage_sweep
+
+        rows = run_outage_sweep(
+            MatchingHeuristic(), mtbfs=[10.0], num_requests=4, streams=2, rng=2
+        )
+        assert len(rows) == 1
+        mtbf, availability, *_ = rows[0]
+        assert mtbf == 10.0
+        assert 0.0 <= availability <= 1.0
+        with pytest.raises(ValidationError):
+            run_outage_sweep(MatchingHeuristic(), mtbfs=[-1.0], streams=1)

@@ -6,8 +6,14 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.simulation.lifecycle import InstanceProcess, rates_for_reliability
+from repro.simulation.lifecycle import (
+    CloudletProcess,
+    InstanceProcess,
+    rates_for_reliability,
+)
 from repro.util.errors import ValidationError
 
 
@@ -64,3 +70,64 @@ class TestInstanceProcess:
         downs = [proc.sample_downtime(gen) for _ in range(4000)]
         assert np.mean(ups) == pytest.approx(mttf, rel=0.1)
         assert np.mean(downs) == pytest.approx(mttr, rel=0.1)
+
+
+class TestRatesForReliabilityProperty:
+    """Property: the derived rates reproduce the target availability."""
+
+    @given(
+        r=st.floats(min_value=0.01, max_value=0.999),
+        mttr=st.floats(min_value=1e-3, max_value=1e3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_steady_state_availability_is_r(self, r, mttr):
+        mttf, mttr_out = rates_for_reliability(r, mttr=mttr)
+        assert mttr_out == mttr
+        assert mttf > 0
+        assert mttf / (mttf + mttr_out) == pytest.approx(r, rel=1e-9)
+
+    @given(r=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=100, deadline=None)
+    def test_mttf_scales_linearly_in_mttr(self, r):
+        base, _ = rates_for_reliability(r, mttr=1.0)
+        scaled, _ = rates_for_reliability(r, mttr=7.0)
+        assert scaled == pytest.approx(7.0 * base, rel=1e-9)
+
+    @pytest.mark.parametrize("r,mttr", [(0.6, 0.5), (0.85, 1.0), (0.97, 3.0)])
+    def test_simulated_availability_tracks_r(self, r, mttr):
+        """An alternating exponential UP/DOWN renewal process with the
+        derived rates spends fraction ~r of its time up."""
+        mttf, mttr_out = rates_for_reliability(r, mttr=mttr)
+        gen = np.random.default_rng(17)
+        cycles = 20_000
+        up = gen.exponential(mttf, size=cycles).sum()
+        down = gen.exponential(mttr_out, size=cycles).sum()
+        assert up / (up + down) == pytest.approx(r, abs=0.01)
+
+
+class TestCloudletProcess:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CloudletProcess(cloudlet=0, mtbf=0.0, mttr=1.0)
+        with pytest.raises(ValidationError):
+            CloudletProcess(cloudlet=0, mtbf=10.0, mttr=0.0)
+        with pytest.raises(ValidationError):
+            CloudletProcess(cloudlet=0, mtbf=10.0, mttr=math.inf)
+
+    def test_availability(self):
+        proc = CloudletProcess(cloudlet=0, mtbf=9.0, mttr=1.0)
+        assert proc.availability == pytest.approx(0.9)
+        assert proc.up
+
+    def test_never_failing_cloudlet(self):
+        proc = CloudletProcess(cloudlet=0, mtbf=math.inf, mttr=1.0)
+        assert proc.availability == 1.0
+        assert proc.sample_uptime(np.random.default_rng(0)) == math.inf
+
+    def test_samples_track_means(self):
+        proc = CloudletProcess(cloudlet=0, mtbf=12.0, mttr=2.0)
+        gen = np.random.default_rng(3)
+        ups = [proc.sample_uptime(gen) for _ in range(4000)]
+        downs = [proc.sample_downtime(gen) for _ in range(4000)]
+        assert np.mean(ups) == pytest.approx(12.0, rel=0.1)
+        assert np.mean(downs) == pytest.approx(2.0, rel=0.1)
