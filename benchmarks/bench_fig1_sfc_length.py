@@ -14,10 +14,13 @@ time(Heuristic), with the ILP gap widening as the chain grows.
 
 from __future__ import annotations
 
-from benchmarks.conftest import trials_per_point, emit, full_grid
+from benchmarks.conftest import emit, emit_json, full_grid, trials_per_point
 from repro.experiments.figures import FIG1_SFC_LENGTHS, run_figure1
 from repro.experiments.reporting import render_figure
+from repro.experiments.serialization import series_records
 from repro.experiments.settings import DEFAULT_SETTINGS
+from repro.parallel import resolve_jobs
+from repro.util.timing import time_call
 
 THIN_GRID = (2, 6, 10, 14, 20)
 
@@ -25,14 +28,17 @@ THIN_GRID = (2, 6, 10, 14, 20)
 def bench_figure1(benchmark, results_dir):
     lengths = FIG1_SFC_LENGTHS if full_grid() else THIN_GRID
     trials = trials_per_point()
+    timing: dict[str, float] = {}
 
     def sweep():
-        return run_figure1(
+        series, timing["seconds"] = time_call(
+            run_figure1,
             DEFAULT_SETTINGS,
             sfc_lengths=lengths,
             trials=trials,
             rng=1,
         )
+        return series
 
     series = benchmark.pedantic(sweep, rounds=1, iterations=1)
     emit(
@@ -41,6 +47,19 @@ def bench_figure1(benchmark, results_dir):
         render_figure(series)
         + f"\n\n({trials} trials/point; paper used 1000. "
         "Set REPRO_TRIALS / REPRO_BENCH_FULL=1 for the full protocol.)",
+    )
+    emit_json(
+        results_dir,
+        "fig1_sfc_length",
+        config={
+            "grid": list(lengths),
+            "trials": trials,
+            "seed": 1,
+            "reps": 1,
+            "jobs": resolve_jobs(None),
+        },
+        points=series_records(series),
+        extra={"sweep_seconds": timing["seconds"]},
     )
 
     # sanity of the paper's headline claims on the generated data

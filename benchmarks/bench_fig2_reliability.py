@@ -12,22 +12,28 @@ exceed the ILP via capacity violations.
 
 from __future__ import annotations
 
-from benchmarks.conftest import trials_per_point, emit
+from benchmarks.conftest import emit, emit_json, trials_per_point
 from repro.experiments.figures import FIG2_RELIABILITY_INTERVALS, run_figure2
 from repro.experiments.reporting import render_figure
+from repro.experiments.serialization import series_records
 from repro.experiments.settings import DEFAULT_SETTINGS
+from repro.parallel import resolve_jobs
+from repro.util.timing import time_call
 
 
 def bench_figure2(benchmark, results_dir):
     trials = trials_per_point()
+    timing: dict[str, float] = {}
 
     def sweep():
-        return run_figure2(
+        series, timing["seconds"] = time_call(
+            run_figure2,
             DEFAULT_SETTINGS,
             intervals=FIG2_RELIABILITY_INTERVALS,
             trials=trials,
             rng=2,
         )
+        return series
 
     series = benchmark.pedantic(sweep, rounds=1, iterations=1)
     emit(
@@ -35,6 +41,19 @@ def bench_figure2(benchmark, results_dir):
         "fig2_reliability",
         render_figure(series)
         + f"\n\n({trials} trials/point; paper used 1000.)",
+    )
+    emit_json(
+        results_dir,
+        "fig2_reliability",
+        config={
+            "grid": [list(interval) for interval in FIG2_RELIABILITY_INTERVALS],
+            "trials": trials,
+            "seed": 2,
+            "reps": 1,
+            "jobs": resolve_jobs(None),
+        },
+        points=series_records(series),
+        extra={"sweep_seconds": timing["seconds"]},
     )
 
     # chain reliability must rise with function reliability for every algorithm

@@ -13,22 +13,28 @@ to place).
 
 from __future__ import annotations
 
-from benchmarks.conftest import trials_per_point, emit
+from benchmarks.conftest import emit, emit_json, trials_per_point
 from repro.experiments.figures import FIG3_RESIDUAL_FRACTIONS, run_figure3
 from repro.experiments.reporting import render_figure
+from repro.experiments.serialization import series_records
 from repro.experiments.settings import DEFAULT_SETTINGS
+from repro.parallel import resolve_jobs
+from repro.util.timing import time_call
 
 
 def bench_figure3(benchmark, results_dir):
     trials = trials_per_point()
+    timing: dict[str, float] = {}
 
     def sweep():
-        return run_figure3(
+        series, timing["seconds"] = time_call(
+            run_figure3,
             DEFAULT_SETTINGS,
             fractions=FIG3_RESIDUAL_FRACTIONS,
             trials=trials,
             rng=3,
         )
+        return series
 
     series = benchmark.pedantic(sweep, rounds=1, iterations=1)
     emit(
@@ -36,6 +42,19 @@ def bench_figure3(benchmark, results_dir):
         "fig3_capacity",
         render_figure(series)
         + f"\n\n({trials} trials/point; paper used 1000.)",
+    )
+    emit_json(
+        results_dir,
+        "fig3_capacity",
+        config={
+            "grid": list(FIG3_RESIDUAL_FRACTIONS),
+            "trials": trials,
+            "seed": 3,
+            "reps": 1,
+            "jobs": resolve_jobs(None),
+        },
+        points=series_records(series),
+        extra={"sweep_seconds": timing["seconds"]},
     )
 
     # reliability rises with residual capacity for every algorithm

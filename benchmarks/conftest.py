@@ -16,8 +16,11 @@ Scale knobs (environment variables):
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 from pathlib import Path
+from typing import Mapping
 
 import pytest
 
@@ -49,6 +52,46 @@ def emit(results_dir: Path, name: str, text: str) -> None:
     """Print a report table and persist it under benchmarks/results/."""
     print(f"\n{text}\n")
     (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def machine_metadata() -> dict[str, object]:
+    """The machine facts a recorded timing is meaningless without."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def emit_json(
+    results_dir: Path,
+    name: str,
+    config: Mapping[str, object],
+    points: list[dict[str, object]],
+    extra: Mapping[str, object] | None = None,
+) -> Path:
+    """Persist a machine-readable benchmark record under benchmarks/results/.
+
+    Schema (``repro-bench/1``): ``config`` holds the knobs the run used
+    (grids, trials, seed, reps), ``points`` one record per measured data
+    point.  Timing fields follow the min-of-reps convention -- a point's
+    ``seconds`` is the minimum over its repetitions (robust to scheduler
+    noise), with the raw repetitions alongside when more than one was
+    taken.  ``machine`` records what the numbers were measured on.
+    """
+    document: dict[str, object] = {
+        "schema": "repro-bench/1",
+        "benchmark": name,
+        "machine": machine_metadata(),
+        "config": dict(config),
+        "points": points,
+    }
+    if extra:
+        document.update(extra)
+    path = results_dir / f"{name}.json"
+    path.write_text(json.dumps(document, indent=2, default=str) + "\n")
+    print(f"wrote {path}")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -6,9 +6,14 @@ Run the paper's figure sweeps (or the ablations) without writing code::
     python -m repro.cli fig3 --trials 50 --fractions 0.0625 0.25 1.0 --chart
     python -m repro.cli ablate radius --trials 10
     python -m repro.cli batch --requests 80 --algorithm heuristic
+    python -m repro.cli batch --requests 80 --streams 8 --jobs 4
 
 Tables are printed to stdout in the same format the benchmark suite emits;
 ``--chart`` adds ASCII line charts, ``--csv PATH`` writes a tidy CSV.
+
+Sweep commands take ``--jobs N`` (default: auto -- ``REPRO_JOBS`` or the
+CPU count) to spread trials over worker processes; for a fixed seed the
+emitted numbers are bit-identical for every ``N``.
 """
 
 from __future__ import annotations
@@ -30,7 +35,11 @@ from repro.experiments.ascii_plots import (
     render_reliability_chart,
     render_runtime_chart,
 )
-from repro.experiments.batch import run_joint_comparison, run_request_stream
+from repro.experiments.batch import (
+    run_joint_comparison,
+    run_request_stream,
+    run_stream_ensemble,
+)
 from repro.experiments.figures import FigureSeries, run_figure1, run_figure2, run_figure3
 from repro.experiments.reporting import render_figure
 from repro.experiments.resilience import FAULT_SCENARIOS, run_fault_scenario
@@ -61,6 +70,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--csv", metavar="PATH", help="write the series as tidy CSV")
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "worker processes for the sweep (default 0 = auto: REPRO_JOBS "
+            "or the CPU count; 1 = serial; results are identical either way)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ICPP'20 reliability-augmentation experiments"
@@ -69,15 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig1 = sub.add_parser("fig1", help="Figure 1: sweep SFC length")
     _add_common(fig1)
+    _add_jobs(fig1)
     fig1.add_argument(
         "--lengths", type=int, nargs="+", default=[2, 6, 10, 14, 20]
     )
 
     fig2 = sub.add_parser("fig2", help="Figure 2: sweep function reliability")
     _add_common(fig2)
+    _add_jobs(fig2)
 
     fig3 = sub.add_parser("fig3", help="Figure 3: sweep residual capacity")
     _add_common(fig3)
+    _add_jobs(fig3)
     fig3.add_argument(
         "--fractions", type=float, nargs="+", default=[1 / 16, 1 / 8, 1 / 4, 1 / 2, 1.0]
     )
@@ -85,10 +110,18 @@ def build_parser() -> argparse.ArgumentParser:
     ablate = sub.add_parser("ablate", help="design-dimension ablations")
     ablate.add_argument("dimension", choices=sorted(ABLATIONS))
     _add_common(ablate)
+    _add_jobs(ablate)
 
     batch = sub.add_parser("batch", help="system-level request stream")
     _add_common(batch)
     batch.add_argument("--requests", type=int, default=50)
+    batch.add_argument(
+        "--streams",
+        type=int,
+        default=1,
+        help="independent replica streams (>1 runs them as a parallel ensemble)",
+    )
+    _add_jobs(batch)
     batch.add_argument(
         "--algorithm", choices=sorted(ALGORITHMS), default="heuristic"
     )
@@ -133,20 +166,30 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "fig1":
         series = run_figure1(
-            DEFAULT_SETTINGS, sfc_lengths=args.lengths, trials=args.trials, rng=args.seed
+            DEFAULT_SETTINGS,
+            sfc_lengths=args.lengths,
+            trials=args.trials,
+            rng=args.seed,
+            jobs=args.jobs,
         )
         _emit_series(series, args)
     elif args.command == "fig2":
-        series = run_figure2(DEFAULT_SETTINGS, trials=args.trials, rng=args.seed)
+        series = run_figure2(
+            DEFAULT_SETTINGS, trials=args.trials, rng=args.seed, jobs=args.jobs
+        )
         _emit_series(series, args)
     elif args.command == "fig3":
         series = run_figure3(
-            DEFAULT_SETTINGS, fractions=args.fractions, trials=args.trials, rng=args.seed
+            DEFAULT_SETTINGS,
+            fractions=args.fractions,
+            trials=args.trials,
+            rng=args.seed,
+            jobs=args.jobs,
         )
         _emit_series(series, args)
     elif args.command == "ablate":
         series = ABLATIONS[args.dimension](
-            DEFAULT_SETTINGS, trials=args.trials, rng=args.seed
+            DEFAULT_SETTINGS, trials=args.trials, rng=args.seed, jobs=args.jobs
         )
         _emit_series(series, args)
     elif args.command == "joint":
@@ -188,26 +231,65 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         )
     elif args.command == "batch":
-        report = run_request_stream(
-            DEFAULT_SETTINGS,
-            ALGORITHMS[args.algorithm](),
-            num_requests=args.requests,
-            rng=args.seed,
-        )
-        rows = [
-            ["requests", report.num_requests],
-            ["acceptance rate", report.acceptance_rate],
-            ["expectation met (admitted)", report.expectation_met_rate],
-            ["mean reliability (admitted)", report.mean_reliability],
-            ["final capacity utilisation", report.final_utilisation],
-        ]
-        print(
-            format_table(
-                ["metric", "value"],
-                rows,
-                title=f"request stream ({args.algorithm}, seed {args.seed})",
+        if args.streams > 1:
+            reports = run_stream_ensemble(
+                DEFAULT_SETTINGS,
+                ALGORITHMS[args.algorithm](),
+                num_requests=args.requests,
+                streams=args.streams,
+                rng=args.seed,
+                jobs=args.jobs,
             )
-        )
+            rows = [
+                [
+                    index,
+                    report.acceptance_rate,
+                    report.expectation_met_rate,
+                    report.mean_reliability,
+                    report.final_utilisation,
+                ]
+                for index, report in enumerate(reports)
+            ]
+            rows.append(
+                [
+                    "mean",
+                    sum(r.acceptance_rate for r in reports) / len(reports),
+                    sum(r.expectation_met_rate for r in reports) / len(reports),
+                    sum(r.mean_reliability for r in reports) / len(reports),
+                    sum(r.final_utilisation for r in reports) / len(reports),
+                ]
+            )
+            print(
+                format_table(
+                    ["stream", "acceptance", "SLO met", "mean rel", "utilisation"],
+                    rows,
+                    title=(
+                        f"stream ensemble ({args.streams} x {args.requests} requests, "
+                        f"{args.algorithm}, seed {args.seed})"
+                    ),
+                )
+            )
+        else:
+            report = run_request_stream(
+                DEFAULT_SETTINGS,
+                ALGORITHMS[args.algorithm](),
+                num_requests=args.requests,
+                rng=args.seed,
+            )
+            rows = [
+                ["requests", report.num_requests],
+                ["acceptance rate", report.acceptance_rate],
+                ["expectation met (admitted)", report.expectation_met_rate],
+                ["mean reliability (admitted)", report.mean_reliability],
+                ["final capacity utilisation", report.final_utilisation],
+            ]
+            print(
+                format_table(
+                    ["metric", "value"],
+                    rows,
+                    title=f"request stream ({args.algorithm}, seed {args.seed})",
+                )
+            )
     return 0
 
 

@@ -24,9 +24,8 @@ from typing import Sequence
 from repro.algorithms.base import AugmentationAlgorithm
 from repro.core.items import ItemGenerationConfig
 from repro.experiments.figures import FigureSeries, default_algorithms
-from repro.experiments.runner import AggregateStats
+from repro.experiments.runner import run_point
 from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
-from repro.experiments.workload import make_trial
 from repro.util.rng import RandomState, as_rng, spawn_rng
 
 #: Default radius grid: same-cloudlet, the paper's l=1, wider, unrestricted.
@@ -36,30 +35,13 @@ RADIUS_GRID: tuple[int, ...] = (0, 1, 2, 99)
 EXPECTATION_GRID: tuple[float, ...] = (0.90, 0.95, 0.99, 0.999)
 
 
-def _run_custom_point(
-    settings: ExperimentSettings,
-    algorithms: Sequence[AugmentationAlgorithm],
-    trials: int,
-    rng: RandomState,
-    item_config: ItemGenerationConfig | None = None,
-) -> dict[str, AggregateStats]:
-    """Like :func:`repro.experiments.runner.run_point` but with an explicit
-    item-generation config (needed by the truncation ablation)."""
-    gen = as_rng(rng)
-    stats = {a.name: AggregateStats(a.name) for a in algorithms}
-    for child in spawn_rng(gen, trials):
-        instance = make_trial(settings, rng=child, item_config=item_config)
-        for algorithm in algorithms:
-            stats[algorithm.name].add(algorithm.solve(instance.problem, rng=child))
-    return stats
-
-
 def run_radius_ablation(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     radii: Sequence[int] = RADIUS_GRID,
     algorithms: Sequence[AugmentationAlgorithm] | None = None,
     trials: int = 10,
     rng: RandomState = None,
+    jobs: int | None = None,
 ) -> FigureSeries:
     """Sweep the locality radius ``l``."""
     algos = list(algorithms) if algorithms is not None else default_algorithms()
@@ -68,7 +50,14 @@ def run_radius_ablation(
     for child, radius in zip(spawn_rng(gen, len(radii)), radii):
         series.x_values.append(radius)
         series.points.append(
-            _run_custom_point(settings.vary(radius=radius), algos, trials, child)
+            run_point(
+                settings.vary(radius=radius),
+                algos,
+                trials=trials,
+                rng=child,
+                validate=False,
+                jobs=jobs,
+            )
         )
     return series
 
@@ -78,6 +67,7 @@ def run_truncation_ablation(
     algorithms: Sequence[AugmentationAlgorithm] | None = None,
     trials: int = 10,
     rng: RandomState = None,
+    jobs: int | None = None,
 ) -> FigureSeries:
     """Compare the literal ``K_i`` item sets against the default truncation.
 
@@ -86,7 +76,7 @@ def run_truncation_ablation(
     confirm the truncations are observation-free.
     """
     algos = list(algorithms) if algorithms is not None else default_algorithms()
-    seed = as_rng(rng).integers(0, 2**62)
+    seed = int(as_rng(rng).integers(0, 2**62))
     series = FigureSeries(figure="abl-truncation", parameter="item_generation")
     for label, config in (
         ("default", ItemGenerationConfig()),
@@ -94,7 +84,15 @@ def run_truncation_ablation(
     ):
         series.x_values.append(label)
         series.points.append(
-            _run_custom_point(settings, algos, trials, int(seed), item_config=config)
+            run_point(
+                settings,
+                algos,
+                trials=trials,
+                rng=seed,
+                validate=False,
+                jobs=jobs,
+                item_config=config,
+            )
         )
     return series
 
@@ -105,6 +103,7 @@ def run_expectation_ablation(
     algorithms: Sequence[AugmentationAlgorithm] | None = None,
     trials: int = 10,
     rng: RandomState = None,
+    jobs: int | None = None,
 ) -> FigureSeries:
     """Sweep the (paper-unstated) reliability expectation level.
 
@@ -118,8 +117,13 @@ def run_expectation_ablation(
     for rho in expectations:
         series.x_values.append(rho)
         series.points.append(
-            _run_custom_point(
-                settings.vary(expectation_range=(rho, rho)), algos, trials, seed
+            run_point(
+                settings.vary(expectation_range=(rho, rho)),
+                algos,
+                trials=trials,
+                rng=seed,
+                validate=False,
+                jobs=jobs,
             )
         )
     return series

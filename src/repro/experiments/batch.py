@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.admission.admit import random_primary_placement
 from repro.algorithms.base import AugmentationAlgorithm
 from repro.core.problem import AugmentationProblem
@@ -35,7 +37,12 @@ from repro.netmodel.capacity import CapacityLedger
 from repro.netmodel.graph import MECNetwork
 from repro.netmodel.vnf import VNFCatalog
 from repro.util.errors import CapacityError, InfeasibleError
-from repro.util.rng import RandomState, as_rng
+from repro.util.rng import (
+    RandomState,
+    as_rng,
+    generator_from_seed,
+    spawn_seed_sequences,
+)
 
 
 @dataclass(frozen=True)
@@ -305,3 +312,89 @@ def run_request_stream(
     total = sum(ledger.initial(v) for v in ledger.nodes)
     report.final_utilisation = used / total if total > 0 else 0.0
     return report
+
+
+# -- parallel stream ensembles ------------------------------------------------------
+#
+# Within one stream, every request's residual view depends on the commits of
+# the requests before it -- commit order never permits parallel execution,
+# so :func:`run_request_stream` is inherently serial.  Across *independent*
+# streams (separate networks, separate ledgers, separate seeds) there is no
+# shared state at all, which is exactly the replication an operator runs to
+# estimate acceptance-rate distributions.  :func:`run_stream_ensemble`
+# parallelises there, and falls back to a serial loop whenever the worker
+# pool cannot be used -- with identical per-stream results either way,
+# since each stream's randomness is a pre-spawned seed.
+
+
+@dataclass(frozen=True)
+class StreamTask:
+    """One independent request stream of an ensemble, described by value."""
+
+    settings: ExperimentSettings
+    algorithm_spec: "object"  # repro.parallel.tasks.AlgorithmSpec
+    num_requests: int
+    seed: np.random.SeedSequence
+    index: int = 0
+    bit_generator: str = "PCG64"
+
+
+def _execute_stream(task: StreamTask) -> BatchReport:
+    """Worker entry point: rebuild the algorithm locally, run one stream."""
+    algorithm = task.algorithm_spec.build()
+    return run_request_stream(
+        task.settings,
+        algorithm,
+        num_requests=task.num_requests,
+        rng=generator_from_seed(task.seed, bit_generator=task.bit_generator),
+    )
+
+
+def run_stream_ensemble(
+    settings: ExperimentSettings,
+    algorithm: AugmentationAlgorithm,
+    num_requests: int,
+    streams: int = 4,
+    rng: RandomState = None,
+    jobs: int | None = None,
+) -> list[BatchReport]:
+    """Run ``streams`` independent request streams, in parallel when allowed.
+
+    Each stream draws its own network, catalog, and arrivals from a
+    pre-spawned child seed and commits onto its own ledger, so streams are
+    embarrassingly parallel; results are returned in stream order and are
+    bit-identical for every ``jobs`` value (including the serial fallback
+    taken when ``jobs`` resolves to 1 or the algorithm cannot be shipped to
+    a worker).  Aggregate the reports' acceptance/SLO rates to get
+    confidence intervals the single-stream runner cannot provide.
+    """
+    from repro.parallel.executor import resolve_jobs, shared_executor
+    from repro.parallel.tasks import AlgorithmSpec
+
+    gen = as_rng(rng)
+    seeds = spawn_seed_sequences(gen, streams)
+    bit_generator = type(gen.bit_generator).__name__
+    num_jobs = resolve_jobs(jobs)
+    spec = AlgorithmSpec.from_algorithm(algorithm) if num_jobs > 1 else None
+    if spec is None:
+        return [
+            run_request_stream(
+                settings,
+                algorithm,
+                num_requests=num_requests,
+                rng=generator_from_seed(seed, bit_generator=bit_generator),
+            )
+            for seed in seeds
+        ]
+    tasks = [
+        StreamTask(
+            settings=settings,
+            algorithm_spec=spec,
+            num_requests=num_requests,
+            seed=seed,
+            index=index,
+            bit_generator=bit_generator,
+        )
+        for index, seed in enumerate(seeds)
+    ]
+    return shared_executor(num_jobs).map_ordered(_execute_stream, tasks)

@@ -97,6 +97,8 @@ def _sweep(
     trials: int | None,
     rng: RandomState,
     validate: bool,
+    jobs: int | None = None,
+    chunk_size: int | None = None,
 ) -> FigureSeries:
     algos = list(algorithms) if algorithms is not None else default_algorithms()
     gen = as_rng(rng)
@@ -104,7 +106,15 @@ def _sweep(
     for child, (x, settings) in zip(spawn_rng(gen, len(configs)), configs):
         series.x_values.append(x)
         series.points.append(
-            run_point(settings, algos, trials=trials, rng=child, validate=validate)
+            run_point(
+                settings,
+                algos,
+                trials=trials,
+                rng=child,
+                validate=validate,
+                jobs=jobs,
+                chunk_size=chunk_size,
+            )
         )
     return series
 
@@ -116,10 +126,11 @@ def run_figure1(
     trials: int | None = None,
     rng: RandomState = None,
     validate: bool = True,
+    jobs: int | None = None,
 ) -> FigureSeries:
     """Figure 1: vary the SFC length of a request from 2 to 20."""
     configs = [(length, settings.vary(sfc_length=length)) for length in sfc_lengths]
-    return _sweep("fig1", "sfc_length", configs, algorithms, trials, rng, validate)
+    return _sweep("fig1", "sfc_length", configs, algorithms, trials, rng, validate, jobs=jobs)
 
 
 def run_figure2(
@@ -129,13 +140,14 @@ def run_figure2(
     trials: int | None = None,
     rng: RandomState = None,
     validate: bool = True,
+    jobs: int | None = None,
 ) -> FigureSeries:
     """Figure 2: vary the network function reliability from ~0.6 to ~0.9."""
     configs = [
         (f"[{lo:.2f},{hi:.2f})", settings.vary(reliability_range=(lo, hi)))
         for lo, hi in intervals
     ]
-    return _sweep("fig2", "reliability_interval", configs, algorithms, trials, rng, validate)
+    return _sweep("fig2", "reliability_interval", configs, algorithms, trials, rng, validate, jobs=jobs)
 
 
 def run_figure3(
@@ -145,9 +157,10 @@ def run_figure3(
     trials: int | None = None,
     rng: RandomState = None,
     validate: bool = True,
+    jobs: int | None = None,
 ) -> FigureSeries:
     """Figure 3: vary the residual computing capacity from 1/16 to 1."""
     configs = [
         (fraction, settings.vary(residual_fraction=fraction)) for fraction in fractions
     ]
-    return _sweep("fig3", "residual_fraction", configs, algorithms, trials, rng, validate)
+    return _sweep("fig3", "residual_fraction", configs, algorithms, trials, rng, validate, jobs=jobs)

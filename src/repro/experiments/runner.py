@@ -11,7 +11,19 @@ instances of one experimental configuration -- one *data point* of a figure
 
 Every algorithm sees the *same* instance within a trial (the paper's
 comparison is paired), and each trial gets an independent child RNG so the
-sweep is reproducible from a single seed.
+sweep is reproducible from a single seed.  Within a trial, every algorithm
+additionally gets its own *named* stream derived from the trial seed
+(:func:`repro.util.rng.named_stream`), so a randomized algorithm's draws
+never depend on how much randomness other algorithms consumed or on the
+lineup order.
+
+Execution model.  Trials are partitioned into chunks whose boundaries
+depend only on the trial count; each chunk is folded into per-algorithm
+partial :class:`AggregateStats` (worker-side when ``jobs > 1``, inline
+otherwise) and the partials are merged in chunk order.  Because the fold
+tree is a function of the trial count alone, ``run_point(..., jobs=k)``
+returns bit-identical aggregates for every ``k`` -- parallelism is
+invisible in the numbers.  See ``docs/parallel.md``.
 """
 
 from __future__ import annotations
@@ -20,12 +32,19 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.algorithms.base import AugmentationAlgorithm
+from repro.core.items import ItemGenerationConfig
 from repro.core.solution import AugmentationResult
 from repro.core.validation import check_solution
 from repro.experiments.settings import ExperimentSettings
 from repro.experiments.workload import make_trial
 from repro.util.errors import ValidationError
-from repro.util.rng import RandomState, as_rng, spawn_rng
+from repro.util.rng import (
+    RandomState,
+    as_rng,
+    derive_seed,
+    named_stream,
+    spawn_seed_sequences,
+)
 
 
 @dataclass(frozen=True)
@@ -40,7 +59,14 @@ class TrialOutcome:
 
 @dataclass
 class AggregateStats:
-    """Streaming mean aggregator for one algorithm at one data point."""
+    """Streaming mean aggregator for one algorithm at one data point.
+
+    Supports two composition operations with a shared meaning: :meth:`add`
+    folds one trial result in, :meth:`merge` folds another aggregate in
+    (the map-reduce path of the parallel engine).  Merging partials in
+    chunk order reproduces -- field for field -- the aggregate a single
+    chunk-ordered fold would have produced.
+    """
 
     algorithm: str
     trials: int = 0
@@ -66,6 +92,65 @@ class AggregateStats:
         self.expectation_met_count += int(result.expectation_met)
         self.violation_trials += int(result.has_violations)
         self._max_usage_seen = max(self._max_usage_seen, result.usage_max)
+
+    def merge(self, other: "AggregateStats") -> "AggregateStats":
+        """Fold another aggregate of the *same* algorithm into this one.
+
+        Sums and counts add, the usage peak maxes; merging an empty
+        aggregate (zero trials) is the identity in either direction.
+        Returns ``self`` for chaining.
+        """
+        if other.algorithm != self.algorithm:
+            raise ValidationError(
+                f"cannot merge {other.algorithm!r} into {self.algorithm!r}"
+            )
+        self.trials += other.trials
+        self.reliability_sum += other.reliability_sum
+        self.runtime_sum += other.runtime_sum
+        self.usage_mean_sum += other.usage_mean_sum
+        self.usage_min_sum += other.usage_min_sum
+        self.usage_max_sum += other.usage_max_sum
+        self.backups_sum += other.backups_sum
+        self.expectation_met_count += other.expectation_met_count
+        self.violation_trials += other.violation_trials
+        self._max_usage_seen = max(self._max_usage_seen, other._max_usage_seen)
+        return self
+
+    @classmethod
+    def merged(cls, parts: Sequence["AggregateStats"]) -> "AggregateStats":
+        """Left-fold ``parts`` (all of one algorithm) into a fresh aggregate."""
+        if not parts:
+            raise ValidationError("merged() needs at least one aggregate")
+        total = cls(parts[0].algorithm)
+        for part in parts:
+            total.merge(part)
+        return total
+
+    def check_merge_invariant(self, parts: Sequence["AggregateStats"]) -> None:
+        """Assert that this aggregate is exactly the ordered merge of ``parts``.
+
+        The merge-consistency contract of the parallel engine: trial counts
+        add, every sum field reproduces bit-for-bit, the usage peak is the
+        max of the parts' peaks, and the derived means re-derive from the
+        merged sums.  Raises :class:`ValidationError` on any mismatch.
+        """
+        remerged = AggregateStats.merged(parts) if parts else AggregateStats(self.algorithm)
+        if remerged.algorithm != self.algorithm:
+            raise ValidationError(
+                f"parts aggregate {remerged.algorithm!r}, not {self.algorithm!r}"
+            )
+        if self.trials != sum(part.trials for part in parts):
+            raise ValidationError(
+                f"trial counts do not add: {self.trials} != "
+                f"{sum(part.trials for part in parts)}"
+            )
+        if remerged != self:
+            raise ValidationError(
+                f"ordered re-merge of parts does not reproduce the aggregate: "
+                f"{remerged!r} != {self!r}"
+            )
+        if self.trials > 0 and self.reliability != self.reliability_sum / self.trials:
+            raise ValidationError("mean does not re-derive from merged sums")
 
     def _mean(self, total: float) -> float:
         if self.trials == 0:
@@ -112,18 +197,29 @@ def run_trial(
     algorithms: Sequence[AugmentationAlgorithm],
     rng: RandomState = None,
     validate: bool = True,
+    item_config: ItemGenerationConfig | None = None,
 ) -> TrialOutcome:
     """One shared instance, every algorithm, optional invariant validation.
+
+    The instance is drawn from ``rng``; each algorithm then solves it with
+    its own stream, ``named_stream(trial_seed, algorithm.name)``, where the
+    trial seed is one draw from ``rng`` after instance generation.  Adding,
+    removing, or reordering algorithms therefore cannot change any other
+    algorithm's draws -- paired comparisons stay paired across lineups, and
+    worker processes reconstruct the exact streams from the trial seed.
 
     Validation re-checks each solution's feasibility (capacity violations
     are allowed -- and recorded -- only for the randomized algorithm).
     """
     gen = as_rng(rng)
-    instance = make_trial(settings, rng=gen)
+    instance = make_trial(settings, rng=gen, item_config=item_config)
     problem = instance.problem
+    algorithm_seed = derive_seed(gen)
     results: dict[str, AugmentationResult] = {}
     for algorithm in algorithms:
-        result = algorithm.solve(problem, rng=gen)
+        result = algorithm.solve(
+            problem, rng=named_stream(algorithm_seed, algorithm.name)
+        )
         if validate:
             allow = algorithm.name.startswith("Randomized")
             report = check_solution(
@@ -148,17 +244,81 @@ def run_point(
     trials: int | None = None,
     rng: RandomState = None,
     validate: bool = True,
+    jobs: int | None = None,
+    chunk_size: int | None = None,
+    item_config: ItemGenerationConfig | None = None,
 ) -> dict[str, AggregateStats]:
     """Aggregate ``trials`` runs into per-algorithm statistics.
 
     ``trials`` defaults to ``settings.effective_trials`` (which honours the
     ``REPRO_TRIALS`` environment variable).
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``None`` honours ``REPRO_JOBS`` and otherwise
+        runs serially; ``0`` auto-detects (CPU count); ``n`` uses exactly
+        ``n``.  **The returned aggregates are bit-identical for every
+        value** -- chunk boundaries and fold order depend only on the trial
+        count, per-trial seeds are pre-spawned, and each algorithm draws
+        from its own named stream.
+    chunk_size:
+        Trials per chunk (default: derived from the trial count alone via
+        :func:`repro.parallel.executor.default_chunk_size`).  Override only
+        for tuning; keep it fixed when comparing runs bit-for-bit.
+    item_config:
+        Optional item-generation override forwarded to every trial (used
+        by the truncation ablation).
     """
+    from repro.parallel.executor import (
+        chunk_indices,
+        default_chunk_size,
+        resolve_jobs,
+        shared_executor,
+    )
+    from repro.parallel.tasks import ChunkTask, execute_chunk, fold_chunk, specs_for
+
     gen = as_rng(rng)
     count = trials if trials is not None else settings.effective_trials
+    seeds = spawn_seed_sequences(gen, count)
+    bit_generator = type(gen.bit_generator).__name__
+    size = chunk_size if chunk_size is not None else default_chunk_size(count)
+    bounds = chunk_indices(count, size)
+
+    num_jobs = resolve_jobs(jobs)
+    specs = None
+    if num_jobs > 1 and len(bounds) > 1:
+        specs = specs_for(algorithms)
+
+    if specs is None:
+        partials = [
+            fold_chunk(
+                settings,
+                algorithms,
+                seeds[start:stop],
+                bit_generator=bit_generator,
+                validate=validate,
+                item_config=item_config,
+            )
+            for start, stop in bounds
+        ]
+    else:
+        chunks = [
+            ChunkTask(
+                settings=settings,
+                algorithms=specs,
+                seeds=tuple(seeds[start:stop]),
+                index=index,
+                bit_generator=bit_generator,
+                validate=validate,
+                item_config=item_config,
+            )
+            for index, (start, stop) in enumerate(bounds)
+        ]
+        partials = shared_executor(num_jobs).map_ordered(execute_chunk, chunks)
+
     stats = {a.name: AggregateStats(a.name) for a in algorithms}
-    for child in spawn_rng(gen, count):
-        outcome = run_trial(settings, algorithms, rng=child, validate=validate)
-        for name, result in outcome.results.items():
-            stats[name].add(result)
+    for partial in partials:
+        for name, aggregate in stats.items():
+            aggregate.merge(partial[name])
     return stats

@@ -1,0 +1,63 @@
+"""Deterministic parallel sweep engine.
+
+Figure sweeps, ablations, and benchmarks evaluate hundreds of independently
+seeded (topology, request, algorithm-set) trials -- embarrassingly parallel
+work the rest of the library runs through this package:
+
+* :mod:`~repro.parallel.tasks` -- picklable work units
+  (:class:`AlgorithmSpec`, :class:`TrialTask`, :class:`ChunkTask`) so
+  workers rebuild algorithms and RNG streams locally instead of receiving
+  live objects;
+* :mod:`~repro.parallel.executor` -- the chunked, spawn-safe
+  :class:`ParallelExecutor` with ordered folding and inline fallback;
+* :mod:`~repro.parallel.registry` -- name -> factory reconstruction of
+  algorithms inside workers.
+
+The engine's contract is that parallel execution is *invisible* in the
+numbers: for a fixed seed, ``run_point(..., jobs=k)`` returns bit-identical
+aggregates for every ``k``.  See ``docs/parallel.md`` for the argument.
+"""
+
+from repro.parallel.executor import (
+    JOBS_ENV,
+    ParallelExecutor,
+    chunk_indices,
+    default_chunk_size,
+    default_jobs,
+    resolve_jobs,
+    shared_executor,
+    shutdown_executors,
+)
+from repro.parallel.registry import (
+    algorithm_factory,
+    build_algorithm,
+    register_algorithm,
+)
+from repro.parallel.tasks import (
+    AlgorithmSpec,
+    ChunkTask,
+    TrialTask,
+    execute_chunk,
+    fold_chunk,
+    specs_for,
+)
+
+__all__ = [
+    "AlgorithmSpec",
+    "ChunkTask",
+    "JOBS_ENV",
+    "ParallelExecutor",
+    "TrialTask",
+    "algorithm_factory",
+    "build_algorithm",
+    "chunk_indices",
+    "default_chunk_size",
+    "default_jobs",
+    "execute_chunk",
+    "fold_chunk",
+    "register_algorithm",
+    "resolve_jobs",
+    "shared_executor",
+    "shutdown_executors",
+    "specs_for",
+]

@@ -1,0 +1,198 @@
+"""Deterministic process-pool execution for embarrassingly parallel sweeps.
+
+Design constraints, in priority order:
+
+1. **Bit-identical results.**  Parallel execution must not change a single
+   reported number.  The engine therefore (a) derives per-trial randomness
+   from pre-spawned seed state that is independent of worker assignment,
+   (b) partitions work into chunks whose boundaries depend only on the
+   trial count -- never on the worker count -- and (c) folds chunk results
+   in chunk-index order regardless of completion order.  ``jobs=1``,
+   ``jobs=2`` and ``jobs=8`` walk the exact same fold tree.
+2. **Low IPC.**  Workers fold their own chunk into per-algorithm partial
+   aggregates (:meth:`repro.experiments.runner.AggregateStats.merge`
+   map-reduce), so one small payload crosses the pipe per chunk instead of
+   one per trial.
+3. **Graceful degradation.**  ``jobs=1``, a single chunk, unpicklable
+   tasks, or a broken pool all fall back to inline (in-process) execution,
+   which shares the chunked fold and therefore the exact numbers.
+
+Pools use the ``spawn`` start method (fork-safety with threaded BLAS), are
+cached per worker count and reused across calls -- a figure sweep pays the
+interpreter start-up cost once, not once per data point -- and are torn
+down at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+from typing import Callable, Sequence, TypeVar
+
+from repro.util.errors import ValidationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable overriding the worker count (``0`` = auto).
+JOBS_ENV = "REPRO_JOBS"
+
+#: Target number of chunks per point: enough for good load balance on any
+#: sane worker count, few enough that per-chunk IPC stays negligible.
+TARGET_CHUNKS = 64
+
+
+def default_jobs() -> int:
+    """CPU-count-aware default worker count."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _jobs_from_env() -> int | None:
+    raw = os.environ.get(JOBS_ENV)
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValidationError(f"{JOBS_ENV}={raw!r} is not an integer") from None
+    if value < 0:
+        raise ValidationError(f"{JOBS_ENV} must be >= 0, got {value}")
+    return value if value > 0 else default_jobs()
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve a ``jobs`` argument to a concrete worker count.
+
+    * ``None`` -- the library default: honour ``REPRO_JOBS`` when set,
+      otherwise run serially (existing callers keep their behaviour);
+    * ``0`` -- auto: ``REPRO_JOBS`` when set, otherwise
+      :func:`default_jobs` (what the CLI's ``--jobs`` defaults to);
+    * ``n >= 1`` -- exactly ``n`` workers.
+    """
+    if jobs is None:
+        return _jobs_from_env() or 1
+    if jobs == 0:
+        return _jobs_from_env() or default_jobs()
+    if jobs < 0:
+        raise ValidationError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def default_chunk_size(count: int) -> int:
+    """Chunk size for ``count`` trials -- a function of ``count`` *only*.
+
+    Aims at :data:`TARGET_CHUNKS` chunks so per-chunk scheduling and IPC
+    amortise over many trials while short sweeps still spread over every
+    worker.  Independence from the worker count is what makes aggregates
+    bit-identical across ``jobs`` values (the fold tree never moves).
+    """
+    if count < 0:
+        raise ValidationError(f"count must be non-negative, got {count}")
+    return max(1, -(-count // TARGET_CHUNKS))
+
+
+def chunk_indices(count: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Half-open ``[start, stop)`` chunk bounds covering ``range(count)``."""
+    if chunk_size < 1:
+        raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [(start, min(start + chunk_size, count)) for start in range(0, count, chunk_size)]
+
+
+class ParallelExecutor:
+    """A spawn-safe process pool with ordered results and inline fallback.
+
+    ``map_ordered(worker, tasks)`` applies the module-level function
+    ``worker`` to each task on the pool and returns results **in task
+    order** (futures are collected in submission order, so worker
+    completion order cannot reorder the fold).  When the pool cannot be
+    used -- one worker, one task, unpicklable tasks, or a pool breakage --
+    every task runs inline in the calling process instead; because callers
+    fold chunk results the same way in both modes, the numbers are
+    identical either way.
+    """
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = resolve_jobs(jobs)
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- pool lifecycle -------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=get_context("spawn")
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); inline execution keeps working."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- execution ------------------------------------------------------------------
+
+    @staticmethod
+    def _picklable(tasks: Sequence[T]) -> bool:
+        try:
+            pickle.dumps(tasks[0])
+        except Exception:
+            return False
+        return True
+
+    def map_ordered(
+        self, worker: Callable[[T], R], tasks: Sequence[T]
+    ) -> list[R]:
+        """``[worker(t) for t in tasks]`` -- possibly on the pool, always ordered."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.jobs <= 1 or len(tasks) == 1 or not self._picklable(tasks):
+            return [worker(task) for task in tasks]
+        try:
+            pool = self._ensure_pool()
+            futures = [pool.submit(worker, task) for task in tasks]
+            return [future.result() for future in futures]
+        except BrokenProcessPool:  # pragma: no cover - environment-dependent
+            self.close()
+            return [worker(task) for task in tasks]
+
+
+#: Cached executors keyed by worker count (reused across run_point calls).
+_SHARED: dict[int, ParallelExecutor] = {}
+
+
+def shared_executor(jobs: int) -> ParallelExecutor:
+    """A process-wide cached executor for ``jobs`` workers.
+
+    Sweeps call :func:`repro.experiments.runner.run_point` once per data
+    point; caching the pool here means the worker processes (and their
+    interpreter/import start-up cost) are paid once per process, not once
+    per point.
+    """
+    jobs = resolve_jobs(jobs)
+    executor = _SHARED.get(jobs)
+    if executor is None:
+        executor = ParallelExecutor(jobs=jobs)
+        _SHARED[jobs] = executor
+    return executor
+
+
+def shutdown_executors() -> None:
+    """Close every cached executor (registered at interpreter exit)."""
+    for executor in _SHARED.values():
+        executor.close()
+    _SHARED.clear()
+
+
+atexit.register(shutdown_executors)

@@ -1,0 +1,90 @@
+"""Algorithm registry: reconstruct algorithms by name in worker processes.
+
+The parallel sweep engine ships :class:`~repro.parallel.tasks.TrialTask`
+specs -- settings, algorithm *names*, seed state -- to worker processes
+instead of live algorithm objects.  Workers turn names back into instances
+through this registry.
+
+Registered out of the box are the figure algorithms (``ILP``,
+``Randomized``, ``Heuristic``), the baselines (``NoBackup``,
+``Greedy[<policy>]`` as a parsed family), and ``Randomized+Repair``.
+Library users with custom algorithms can :func:`register_algorithm` them;
+unregistered algorithms still parallelise as long as their instances pickle
+(see :meth:`repro.parallel.tasks.AlgorithmSpec.from_algorithm`), and fall
+back to inline execution otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.algorithms.base import AugmentationAlgorithm
+from repro.util.errors import ValidationError
+
+#: Factories keyed by the exact ``algorithm.name`` they reconstruct.
+_FACTORIES: dict[str, Callable[[], AugmentationAlgorithm]] = {}
+
+_GREEDY_NAME = re.compile(r"^Greedy\[([a-z_]+)\]$")
+
+
+def register_algorithm(
+    name: str,
+    factory: Callable[[], AugmentationAlgorithm],
+    replace: bool = False,
+) -> None:
+    """Register ``factory`` as the reconstruction recipe for ``name``.
+
+    ``factory()`` must return an algorithm whose ``.name`` equals ``name``
+    and whose behaviour matches the instance the caller parallelises --
+    the engine cross-checks constructor state before trusting the registry
+    (see ``AlgorithmSpec.from_algorithm``).
+    """
+    if not replace and name in _FACTORIES:
+        raise ValidationError(f"algorithm {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def algorithm_factory(name: str) -> Callable[[], AugmentationAlgorithm] | None:
+    """The registered factory for ``name`` (families parsed), or ``None``."""
+    factory = _FACTORIES.get(name)
+    if factory is not None:
+        return factory
+    match = _GREEDY_NAME.match(name)
+    if match is not None:
+        from repro.algorithms.baselines import BIN_POLICIES, GreedyGain
+
+        policy = match.group(1)
+        if policy in BIN_POLICIES:
+            return lambda: GreedyGain(bin_policy=policy)
+    return None
+
+
+def build_algorithm(name: str) -> AugmentationAlgorithm:
+    """Instantiate the registered algorithm called ``name``."""
+    factory = algorithm_factory(name)
+    if factory is None:
+        raise ValidationError(f"no registered algorithm named {name!r}")
+    algorithm = factory()
+    if algorithm.name != name:
+        raise ValidationError(
+            f"registry factory for {name!r} built {algorithm.name!r}"
+        )
+    return algorithm
+
+
+def _register_defaults() -> None:
+    from repro.algorithms.baselines import NoAugmentation
+    from repro.algorithms.heuristic import MatchingHeuristic
+    from repro.algorithms.ilp_exact import ILPAlgorithm
+    from repro.algorithms.randomized import RandomizedRounding
+    from repro.algorithms.repair import RepairedRandomizedRounding
+
+    register_algorithm("ILP", ILPAlgorithm)
+    register_algorithm("Randomized", RandomizedRounding)
+    register_algorithm("Heuristic", MatchingHeuristic)
+    register_algorithm("NoBackup", NoAugmentation)
+    register_algorithm("Randomized+Repair", RepairedRandomizedRounding)
+
+
+_register_defaults()

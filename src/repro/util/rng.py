@@ -10,16 +10,31 @@ generation, randomized rounding) accepts a ``rng`` argument that may be
 Centralising the coercion here keeps experiment runs reproducible end-to-end:
 a single integer seed at the harness level deterministically drives topology,
 workload, and algorithm randomness through :func:`spawn_rng` sub-streams.
+
+Two further pieces support the parallel sweep engine
+(:mod:`repro.parallel`):
+
+* :func:`spawn_seed_sequences` exposes the *seed state* of the children
+  instead of live generators, so a trial's randomness can be pickled to a
+  worker process and rebuilt there (:func:`generator_from_seed`) into the
+  exact same stream the serial path would have used;
+* :func:`named_stream` derives an independent generator from a ``(seed,
+  name)`` pair, giving every algorithm of a trial its own stream that does
+  not depend on which other algorithms run or in what order.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Union
 
 import numpy as np
 
 #: The union of things accepted wherever the library takes a ``rng`` argument.
 RandomState = Union[None, int, np.random.Generator]
+
+#: Upper bound (exclusive) of integer seeds drawn by :func:`derive_seed`.
+_SEED_BOUND = 2**63 - 1
 
 
 def as_rng(rng: RandomState = None) -> np.random.Generator:
@@ -41,22 +56,80 @@ def as_rng(rng: RandomState = None) -> np.random.Generator:
     return np.random.default_rng(rng)
 
 
-def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
-    """Derive ``count`` independent child generators from ``rng``.
+def spawn_seed_sequences(
+    rng: np.random.Generator, count: int
+) -> list[np.random.SeedSequence]:
+    """Derive ``count`` independent child seed sequences from ``rng``.
 
-    Uses :meth:`numpy.random.Generator.spawn` when available (NumPy >= 1.25)
-    and falls back to seeding children from the parent stream otherwise.
-    Children are statistically independent of each other and of the parent's
-    subsequent output, which lets a harness hand one stream to each trial of
-    an experiment without cross-trial coupling.
+    This is the seed-state half of :func:`spawn_rng`: the returned
+    :class:`numpy.random.SeedSequence` objects are small, picklable, and
+    rebuild -- via :func:`generator_from_seed` -- exactly the generators
+    ``spawn_rng`` would have produced.  The parallel sweep engine ships
+    these to worker processes instead of live generators.
+
+    Falls back to seeding children from the parent stream when the
+    generator exposes no spawnable seed sequence (exotic bit generators).
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    try:
-        return list(rng.spawn(count))
-    except AttributeError:  # pragma: no cover - old numpy fallback
-        seeds = rng.integers(0, 2**63 - 1, size=count)
-        return [np.random.default_rng(int(s)) for s in seeds]
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if seed_seq is None:  # pragma: no cover - very old numpy
+        seed_seq = getattr(rng.bit_generator, "_seed_seq", None)
+    if seed_seq is not None and hasattr(seed_seq, "spawn"):
+        return list(seed_seq.spawn(count))
+    # fallback: draw fresh entropy from the parent stream
+    seeds = rng.integers(0, _SEED_BOUND, size=count)  # pragma: no cover
+    return [np.random.SeedSequence(int(s)) for s in seeds]  # pragma: no cover
+
+
+def generator_from_seed(
+    seed: np.random.SeedSequence, bit_generator: str = "PCG64"
+) -> np.random.Generator:
+    """Rebuild a generator from a spawned seed sequence.
+
+    ``bit_generator`` names the :mod:`numpy.random` bit-generator class of
+    the parent (``type(rng.bit_generator).__name__``), so children keep the
+    parent's stream family; unknown names fall back to ``PCG64`` (the
+    :func:`numpy.random.default_rng` default).
+    """
+    cls = getattr(np.random, bit_generator, None)
+    if cls is None or not isinstance(cls, type):
+        cls = np.random.PCG64
+    return np.random.Generator(cls(seed))
+
+
+def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Equivalent to :meth:`numpy.random.Generator.spawn` (children carry the
+    parent's bit-generator family and are statistically independent of each
+    other and of the parent's subsequent output), but routed through
+    :func:`spawn_seed_sequences` so the serial and parallel execution paths
+    derive per-trial randomness from identical seed state.
+    """
+    name = type(rng.bit_generator).__name__
+    return [
+        generator_from_seed(seq, bit_generator=name)
+        for seq in spawn_seed_sequences(rng, count)
+    ]
+
+
+def named_stream(seed: int, name: str) -> np.random.Generator:
+    """An independent generator derived from a ``(seed, name)`` pair.
+
+    The trial runner hands every algorithm its own stream,
+    ``named_stream(trial_seed, algorithm.name)``, so a randomized
+    algorithm's draws depend only on the trial and its own name -- never on
+    how many random numbers *other* algorithms consumed, or on the lineup
+    order.  Paired comparisons therefore stay paired when the algorithm set
+    changes, and worker processes can reconstruct the stream locally.
+
+    The name is folded in through SHA-256, so any printable label yields a
+    well-mixed, collision-resistant entropy extension.
+    """
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    words = [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
+    return np.random.default_rng(np.random.SeedSequence([int(seed), *words]))
 
 
 def derive_seed(rng: np.random.Generator) -> int:
@@ -65,4 +138,4 @@ def derive_seed(rng: np.random.Generator) -> int:
     Useful when an API boundary requires an integer seed (e.g. recording the
     seed of a trial in a result record so it can be replayed later).
     """
-    return int(rng.integers(0, 2**63 - 1))
+    return int(rng.integers(0, _SEED_BOUND))

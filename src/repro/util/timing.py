@@ -4,16 +4,52 @@ The paper's Figures 1(c), 2(c) and 3(c) report algorithm running times; the
 harness measures them with :class:`Stopwatch`, a tiny context manager around
 :func:`time.perf_counter`.  Keeping the measurement in one place ensures all
 algorithms are timed identically (model build time included, I/O excluded).
+
+Deterministic clock.  Wall-clock measurements are the one inherently
+non-reproducible quantity an experiment reports: two runs of the same seed
+produce the same placements but different ``runtime_seconds``.  Setting the
+``REPRO_FAKE_CLOCK`` environment variable replaces the clock behind every
+helper in this module with a process-local counter that advances a fixed
+tick per reading, making timed intervals a deterministic function of *how
+many* measurements the code path takes.  The serial/parallel differential
+tests use this to assert bit-identical aggregates **including** the runtime
+fields; it is never enabled by default.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, TypeVar
 
 T = TypeVar("T")
+
+#: Environment variable enabling the deterministic fake clock.
+FAKE_CLOCK_ENV = "REPRO_FAKE_CLOCK"
+
+#: Seconds the fake clock advances per reading.  A power of two, so that
+#: interval arithmetic (``stop*tick - start*tick``) is exact in floating
+#: point and measured durations are independent of the counter's absolute
+#: offset -- a worker process that starts its counter fresh reports the
+#: same bits as the parent would have.
+FAKE_CLOCK_TICK = 2.0**-10
+
+_fake_readings = itertools.count(1)
+
+
+def _clock() -> float:
+    """The module's clock: ``time.perf_counter`` or the deterministic fake.
+
+    The environment variable is consulted on every reading so tests can
+    toggle it without reloading the module, and spawned worker processes
+    (which inherit the environment) agree with their parent.
+    """
+    if os.environ.get(FAKE_CLOCK_ENV):
+        return next(_fake_readings) * FAKE_CLOCK_TICK
+    return time.perf_counter()
 
 
 @dataclass
@@ -36,11 +72,11 @@ class Stopwatch:
     _started: float = field(default=0.0, repr=False)
 
     def __enter__(self) -> "Stopwatch":
-        self._started = time.perf_counter()
+        self._started = _clock()
         return self
 
     def __exit__(self, *exc: object) -> None:
-        self.elapsed += time.perf_counter() - self._started
+        self.elapsed += _clock() - self._started
         self.laps += 1
 
     @property
@@ -64,16 +100,16 @@ def timed() -> Iterator[Stopwatch]:
     True
     """
     sw = Stopwatch()
-    start = time.perf_counter()
+    start = _clock()
     try:
         yield sw
     finally:
-        sw.elapsed = time.perf_counter() - start
+        sw.elapsed = _clock() - start
         sw.laps = 1
 
 
 def time_call(fn: Callable[..., T], *args: object, **kwargs: object) -> tuple[T, float]:
     """Call ``fn`` and return ``(result, seconds)``."""
-    start = time.perf_counter()
+    start = _clock()
     result = fn(*args, **kwargs)
-    return result, time.perf_counter() - start
+    return result, _clock() - start

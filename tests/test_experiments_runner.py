@@ -58,6 +58,57 @@ class TestAggregateStats:
             AggregateStats("X").reliability
 
 
+class TestAggregateStatsMerge:
+    def _parts(self):
+        first = AggregateStats("X")
+        first.add(_result(reliability=0.8, runtime=0.02, usage=(0.2, 0.0, 0.4)))
+        first.add(_result(reliability=0.6, runtime=0.04, met=False, viol={1: 5.0}))
+        second = AggregateStats("X")
+        second.add(_result(reliability=0.9, runtime=0.01, usage=(0.4, 0.2, 0.8)))
+        return first, second
+
+    def test_merge_equals_sequential_add(self):
+        first, second = self._parts()
+        merged = AggregateStats.merged([first, second])
+        sequential = AggregateStats("X")
+        sequential.add(_result(reliability=0.8, runtime=0.02, usage=(0.2, 0.0, 0.4)))
+        sequential.add(_result(reliability=0.6, runtime=0.04, met=False, viol={1: 5.0}))
+        sequential.add(_result(reliability=0.9, runtime=0.01, usage=(0.4, 0.2, 0.8)))
+        assert merged == sequential
+
+    def test_merge_invariant_passes(self):
+        first, second = self._parts()
+        merged = AggregateStats.merged([first, second])
+        merged.check_merge_invariant([first, second])
+
+    def test_merge_invariant_detects_drift(self):
+        first, second = self._parts()
+        merged = AggregateStats.merged([first, second])
+        merged.reliability_sum += 0.25
+        with pytest.raises(ValidationError):
+            merged.check_merge_invariant([first, second])
+
+    def test_merge_rejects_mismatched_algorithms(self):
+        with pytest.raises(ValidationError):
+            AggregateStats("X").merge(AggregateStats("Y"))
+
+    def test_merge_with_empty_part_is_identity(self):
+        """Satellite: an all-empty chunk must not perturb the aggregate."""
+        first, second = self._parts()
+        merged = AggregateStats.merged([first, AggregateStats("X"), second])
+        assert merged == AggregateStats.merged(self._parts())
+
+    def test_merged_empty_parts_rejected(self):
+        with pytest.raises(ValidationError):
+            AggregateStats.merged([])
+
+    def test_merge_two_empty_aggregates(self):
+        merged = AggregateStats("X").merge(AggregateStats("X"))
+        assert merged.trials == 0
+        with pytest.raises(ValidationError):
+            merged.reliability
+
+
 class TestRunTrial:
     def test_all_algorithms_present(self, tiny_settings):
         algorithms = [MatchingHeuristic(), GreedyGain(), NoAugmentation()]

@@ -5,7 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.util.rng import as_rng, derive_seed, spawn_rng
+from repro.util.rng import (
+    as_rng,
+    derive_seed,
+    generator_from_seed,
+    named_stream,
+    spawn_rng,
+    spawn_seed_sequences,
+)
 
 
 class TestAsRng:
@@ -58,3 +65,72 @@ class TestDeriveSeed:
 
     def test_deterministic(self):
         assert derive_seed(as_rng(5)) == derive_seed(as_rng(5))
+
+
+class TestSpawnSeedSequences:
+    def test_matches_generator_spawn(self):
+        """seed-sequence spawning is bit-identical to Generator.spawn."""
+        seqs = spawn_seed_sequences(as_rng(7), 4)
+        direct = as_rng(7).spawn(4)
+        for seq, child in zip(seqs, direct):
+            rebuilt = generator_from_seed(seq)
+            np.testing.assert_array_equal(
+                rebuilt.integers(0, 1 << 30, size=16),
+                child.integers(0, 1 << 30, size=16),
+            )
+
+    def test_parent_stream_unaffected(self):
+        """Spawning advances the spawn counter, not the value stream."""
+        touched = as_rng(7)
+        spawn_seed_sequences(touched, 3)
+        np.testing.assert_array_equal(
+            touched.integers(0, 1 << 30, size=8),
+            as_rng(7).integers(0, 1 << 30, size=8),
+        )
+
+    def test_successive_spawns_disjoint(self):
+        gen = as_rng(7)
+        first = spawn_seed_sequences(gen, 2)
+        second = spawn_seed_sequences(gen, 2)
+        keys = {tuple(seq.generate_state(4)) for seq in first + second}
+        assert len(keys) == 4
+
+    def test_spawn_rng_consistent_with_sequences(self):
+        """spawn_rng is the generator view of spawn_seed_sequences."""
+        from_generators = [g.integers(0, 1 << 30) for g in spawn_rng(as_rng(3), 4)]
+        from_sequences = [
+            generator_from_seed(seq).integers(0, 1 << 30)
+            for seq in spawn_seed_sequences(as_rng(3), 4)
+        ]
+        assert from_generators == from_sequences
+
+
+class TestGeneratorFromSeed:
+    def test_seed_sequence_round_trip(self):
+        seq = np.random.SeedSequence(99)
+        a = generator_from_seed(seq).integers(0, 1 << 30, size=8)
+        b = np.random.default_rng(np.random.SeedSequence(99)).integers(
+            0, 1 << 30, size=8
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_bit_generator_falls_back(self):
+        gen = generator_from_seed(np.random.SeedSequence(1), bit_generator="NoSuchBG")
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestNamedStream:
+    def test_deterministic(self):
+        a = named_stream(42, "Randomized").integers(0, 1 << 30, size=8)
+        b = named_stream(42, "Randomized").integers(0, 1 << 30, size=8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_name_separates_streams(self):
+        a = named_stream(42, "Randomized").integers(0, 1 << 30, size=16)
+        b = named_stream(42, "Randomized+Repair").integers(0, 1 << 30, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_seed_separates_streams(self):
+        a = named_stream(1, "Randomized").integers(0, 1 << 30, size=16)
+        b = named_stream(2, "Randomized").integers(0, 1 << 30, size=16)
+        assert not np.array_equal(a, b)

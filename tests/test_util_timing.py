@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 
-from repro.util.timing import Stopwatch, time_call, timed
+from repro.util.timing import FAKE_CLOCK_ENV, FAKE_CLOCK_TICK, Stopwatch, time_call, timed
 
 
 class TestStopwatch:
@@ -63,3 +63,23 @@ class TestTimeCall:
     def test_kwargs_forwarded(self):
         result, _ = time_call(sorted, [3, 1, 2], reverse=True)
         assert result == [3, 2, 1]
+
+
+class TestFakeClock:
+    def test_interval_is_exact_tick_multiple(self, monkeypatch):
+        monkeypatch.setenv(FAKE_CLOCK_ENV, "1")
+        sw = Stopwatch()
+        with sw:
+            pass
+        assert sw.elapsed == FAKE_CLOCK_TICK  # exactly one reading apart
+
+    def test_tick_is_power_of_two(self):
+        # Exactness of interval arithmetic (and hence offset-independence
+        # of worker-measured durations) hinges on this.
+        mantissa, _ = __import__("math").frexp(FAKE_CLOCK_TICK)
+        assert mantissa == 0.5
+
+    def test_disabled_uses_wall_clock(self, monkeypatch):
+        monkeypatch.delenv(FAKE_CLOCK_ENV, raising=False)
+        _, seconds = time_call(time.sleep, 0.01)
+        assert seconds >= 0.01
