@@ -8,7 +8,7 @@ alternative an engineer would try first.
 
 from __future__ import annotations
 
-from benchmarks.conftest import trials_per_point, emit
+from benchmarks.conftest import trials_per_point, emit, emit_json
 from repro.algorithms.baselines import GreedyGain, NoAugmentation
 from repro.algorithms.heuristic import MatchingHeuristic
 from repro.algorithms.ilp_exact import ILPAlgorithm
@@ -53,6 +53,27 @@ def bench_baseline_comparison(benchmark, results_dir):
                 f"({trials} trials; greedy vs the paper's algorithms)"
             ),
         ),
+    )
+    emit_json(
+        results_dir,
+        "BENCH_baselines",
+        config={
+            "workload": "default comparison at 1/8 residual capacity",
+            "residual_fraction": 1 / 8,
+            "trials_per_point": trials,
+            "rng": 29,
+            "timing": "mean per-request solve time over trials",
+        },
+        points=[
+            {
+                "algorithm": name,
+                "reliability": s.reliability,
+                "solve_seconds": s.runtime,
+                "mean_backups": s.mean_backups,
+                "expectation_met_rate": s.expectation_met_rate,
+            }
+            for name, s in stats.items()
+        ],
     )
 
     assert stats["ILP"].reliability >= stats["Greedy[max_residual]"].reliability - 1e-9

@@ -8,10 +8,12 @@ locality edges) and on dense square assignment matrices.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.matching.hungarian import solve_assignment
 from repro.matching.mincost import min_cost_max_matching
 from repro.util.tables import format_table
@@ -44,29 +46,60 @@ def bench_hungarian_dense(benchmark, size):
     assert total > 0
 
 
+#: (rows, cols, seed) instances for the backend cross-check.
+CROSSCHECK_GRID = [(10, 100, 1), (10, 300, 2), (20, 200, 3)]
+
+#: Timed calls per backend per instance; the minimum is recorded.
+TIMING_REPS = 3
+
+
+def _timed_solve(n_rows, n_cols, edges, backend):
+    """Solve once per rep and return (result, best_seconds)."""
+    best = float("inf")
+    result = None
+    for _ in range(TIMING_REPS):
+        start = time.perf_counter()
+        result = min_cost_max_matching(n_rows, n_cols, edges, backend=backend)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
 def bench_matching_report(benchmark, results_dir):
-    """Correctness cross-check table for the two backends."""
+    """Correctness cross-check table (and timings) for the two backends."""
 
     def crosscheck():
-        rows = []
-        for n_rows, n_cols, seed in [(10, 100, 1), (10, 300, 2), (20, 200, 3)]:
+        points = []
+        for n_rows, n_cols, seed in CROSSCHECK_GRID:
             edges = _heuristic_shaped_edges(n_rows, n_cols, seed)
-            a = min_cost_max_matching(n_rows, n_cols, edges, backend="scipy")
-            b = min_cost_max_matching(n_rows, n_cols, edges, backend="own")
-            rows.append(
-                [
-                    f"{n_rows}x{n_cols}",
-                    len(a),
-                    len(b),
-                    sum(e.cost for e in a),
-                    sum(e.cost for e in b),
-                ]
+            a, t_scipy = _timed_solve(n_rows, n_cols, edges, "scipy")
+            b, t_own = _timed_solve(n_rows, n_cols, edges, "own")
+            points.append(
+                {
+                    "instance": f"{n_rows}x{n_cols}",
+                    "seed": seed,
+                    "cardinality_scipy": len(a),
+                    "cardinality_own": len(b),
+                    "cost_scipy": sum(e.cost for e in a),
+                    "cost_own": sum(e.cost for e in b),
+                    "scipy_seconds": t_scipy,
+                    "own_seconds": t_own,
+                }
             )
             assert len(a) == len(b)
-            assert abs(sum(e.cost for e in a) - sum(e.cost for e in b)) < 1e-6
-        return rows
+            assert abs(points[-1]["cost_scipy"] - points[-1]["cost_own"]) < 1e-6
+        return points
 
-    rows = benchmark.pedantic(crosscheck, rounds=1, iterations=1)
+    points = benchmark.pedantic(crosscheck, rounds=1, iterations=1)
+    rows = [
+        [
+            p["instance"],
+            p["cardinality_scipy"],
+            p["cardinality_own"],
+            p["cost_scipy"],
+            p["cost_own"],
+        ]
+        for p in points
+    ]
     emit(
         results_dir,
         "matching_backends",
@@ -75,4 +108,15 @@ def bench_matching_report(benchmark, results_dir):
             rows,
             title="Matching backends agree on cardinality and cost",
         ),
+    )
+    emit_json(
+        results_dir,
+        "BENCH_matching_backends",
+        config={
+            "workload": "heuristic-shaped mincost matching, 30% edge density",
+            "grid": [list(point) for point in CROSSCHECK_GRID],
+            "reps_per_backend": TIMING_REPS,
+            "timing": "min-of-reps per backend per instance",
+        },
+        points=points,
     )

@@ -147,6 +147,19 @@ def render_table(points, lengths, trials: int, reps: int) -> str:
     return "\n".join(lines)
 
 
+def _provenance_note() -> str:
+    """Top-level JSON note: speedups only mean anything against the core
+    count they were measured on (``machine.cpu_count`` in the record)."""
+    cpus = machine_metadata()["cpu_count"]
+    if cpus is not None and cpus < 2:
+        return (
+            f"measured on cpu_count={cpus}: workers serialise on one CPU, so "
+            "speedups are necessarily ~1x (plus IPC overhead); the engine's "
+            "scaling shows on multicore hosts"
+        )
+    return f"measured on cpu_count={cpus}; speedup is relative to jobs=1"
+
+
 def bench_parallel_sweep(benchmark, results_dir):
     lengths = (2, 10, 20)
     trials = min(trials_per_point(), 6)
@@ -168,6 +181,7 @@ def bench_parallel_sweep(benchmark, results_dir):
             "jobs_grid": list(jobs_grid),
         },
         points=points,
+        extra={"note": _provenance_note()},
     )
     # the parallel path must not collapse: even on one core, pool overhead
     # stays bounded (pool start-up is excluded by the warm-up sweep)
@@ -202,6 +216,7 @@ def main(argv):
                 "jobs_grid": list(jobs_grid),
             },
             points=points,
+            extra={"note": _provenance_note()},
         )
     return 0
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import networkx as nx
 
-from benchmarks.conftest import trials_per_point, emit
+from benchmarks.conftest import trials_per_point, emit, emit_json
 from repro.algorithms.heuristic import MatchingHeuristic
 from repro.algorithms.ilp_exact import ILPAlgorithm
 from repro.experiments.runner import run_trial
@@ -83,6 +83,25 @@ def bench_topology_families(benchmark, results_dir):
             rows,
             title=f"Topology sensitivity ({trials} trials/family)",
         ),
+    )
+    emit_json(
+        results_dir,
+        "BENCH_topologies",
+        config={
+            "workload": "default comparison across topology families",
+            "families": list(FAMILIES),
+            "trials_per_family": trials,
+            "seed": 31,
+        },
+        points=[
+            {
+                "family": family,
+                "reliability_ilp": rels["ILP"],
+                "reliability_heuristic": rels["Heuristic"],
+                "gap": rels["ILP"] - rels["Heuristic"],
+            }
+            for family, rels in per_family.items()
+        ],
     )
 
     for family, rels in per_family.items():

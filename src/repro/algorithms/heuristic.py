@@ -53,6 +53,8 @@ from repro.algorithms.ilp_exact import repair_prefix
 from repro.core.items import BackupItem
 from repro.core.problem import AugmentationProblem
 from repro.core.solution import AugmentationResult, AugmentationSolution, Placement
+from repro.kernels import kernels_enabled
+from repro.kernels.arena import thread_arena
 from repro.matching.incremental import RoundState
 from repro.matching.mincost import (
     MatchingWorkspace,
@@ -90,6 +92,15 @@ class MatchingHeuristic(AugmentationAlgorithm):
         Record a per-round trace (placements, cumulative paper cost,
         reliability) in ``result.meta["round_trace"]`` -- used by the
         differential tests; off by default to keep results lightweight.
+    use_arena:
+        Incremental engine only: lease the round engine's scratch arrays and
+        the padded matrix buffer from this thread's
+        :class:`repro.kernels.arena.MatrixArena` instead of allocating fresh
+        ones per solve.  ``None`` (default) follows the global kernel switch
+        (:func:`repro.kernels.kernels_enabled`).  The arena is resolved at
+        *solve* time via :func:`repro.kernels.arena.thread_arena` -- never
+        stored on the algorithm -- so instances stay picklable and
+        fork-safe (see ``docs/performance.md``).
     """
 
     name = "Heuristic"
@@ -102,6 +113,7 @@ class MatchingHeuristic(AugmentationAlgorithm):
         incremental: bool = True,
         rebuild_every: int = 0,
         record_trace: bool = False,
+        use_arena: bool | None = None,
     ):
         if rebuild_every < 0:
             raise ValidationError(f"rebuild_every must be >= 0, got {rebuild_every}")
@@ -111,6 +123,7 @@ class MatchingHeuristic(AugmentationAlgorithm):
         self.incremental = incremental
         self.rebuild_every = rebuild_every
         self.record_trace = record_trace
+        self.use_arena = use_arena
 
     def solve(
         self, problem: AugmentationProblem, rng: RandomState = None
@@ -174,8 +187,12 @@ class MatchingHeuristic(AugmentationAlgorithm):
     ) -> tuple[list[Placement], int, list[dict[str, object]]]:
         """The incremental engine: delta-maintained ``G_l`` + buffer reuse."""
         ledger = problem.ledger()
-        state = RoundState(problem, ledger, rebuild_every=self.rebuild_every)
-        workspace = MatchingWorkspace()
+        want_arena = kernels_enabled() if self.use_arena is None else self.use_arena
+        arena = thread_arena() if want_arena else None
+        state = RoundState(
+            problem, ledger, rebuild_every=self.rebuild_every, arena=arena
+        )
+        workspace = arena.workspace if arena is not None else MatchingWorkspace()
         items = problem.items
         placements: list[Placement] = []
         counts = [0] * problem.request.chain.length

@@ -237,6 +237,29 @@ def generate_items(
         Items sorted by ``(position, k)``.  Positions whose neighborhood has
         no usable cloudlet contribute no items.
     """
+    return generate_items_with_plan(
+        request, primary_placement, neighborhoods, residuals, config=config
+    )[0]
+
+
+def generate_items_with_plan(
+    request: Request,
+    primary_placement: Sequence[int],
+    neighborhoods: NeighborhoodIndex,
+    residuals: Mapping[int, float],
+    config: ItemGenerationConfig | None = None,
+) -> tuple[list[BackupItem], object | None]:
+    """:func:`generate_items`, plus the kernel's flattened edge universe.
+
+    When the array kernels are enabled (:func:`repro.kernels.kernels_enabled`)
+    and ``neighborhoods`` supports the batch interface, generation runs in
+    :func:`repro.kernels.items.generate_items_vectorized` and the second
+    element is its :class:`~repro.kernels.items.ItemPlan` (the (item, bin)
+    edge arrays the incremental matching engine adopts).  Otherwise the
+    scalar reference loop below runs and the plan is ``None``.  Both paths
+    emit the bit-identical item sequence -- proven by
+    ``tests/test_kernels_differential.py``.
+    """
     chain = request.chain
     if len(primary_placement) != chain.length:
         raise ValidationError(
@@ -244,6 +267,49 @@ def generate_items(
             f"for a chain of length {chain.length}"
         )
     config = config or ItemGenerationConfig()
+
+    hooks = _kernel_hooks()
+    if hooks[0]():
+        generated = hooks[1](
+            request, primary_placement, neighborhoods, residuals, config
+        )
+        if generated is not None:
+            return generated
+    return (
+        _generate_items_legacy(
+            request, primary_placement, neighborhoods, residuals, config
+        ),
+        None,
+    )
+
+
+_KERNEL_HOOKS: tuple | None = None
+
+
+def _kernel_hooks() -> tuple:
+    """``(kernels_enabled, generate_items_vectorized)``, imported once.
+
+    The import has to be deferred (``repro.kernels.items`` imports this
+    module) but must not be paid per generation call.
+    """
+    global _KERNEL_HOOKS
+    if _KERNEL_HOOKS is None:
+        from repro.kernels import kernels_enabled
+        from repro.kernels.items import generate_items_vectorized
+
+        _KERNEL_HOOKS = (kernels_enabled, generate_items_vectorized)
+    return _KERNEL_HOOKS
+
+
+def _generate_items_legacy(
+    request: Request,
+    primary_placement: Sequence[int],
+    neighborhoods: NeighborhoodIndex,
+    residuals: Mapping[int, float],
+    config: ItemGenerationConfig,
+) -> list[BackupItem]:
+    """The scalar generation loop (the kernel's differential reference)."""
+    chain = request.chain
     # Gain still needed to lift the baseline (primaries-only) reliability to
     # the expectation: (-log u_baseline) - (-log rho_j).
     needed_gain = max(

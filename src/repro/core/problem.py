@@ -25,7 +25,7 @@ from typing import Mapping, Sequence
 from repro.core.items import (
     BackupItem,
     ItemGenerationConfig,
-    generate_items,
+    generate_items_with_plan,
     items_by_position,
 )
 from repro.core.reliability import chain_reliability
@@ -136,10 +136,10 @@ class AugmentationProblem:
                 f"neighborhood index built for radius {neighborhoods.radius}, "
                 f"problem radius is {radius}"
             )
-        items = generate_items(
+        items, plan = generate_items_with_plan(
             request, primary_placement, neighborhoods, residuals, config=item_config
         )
-        return cls(
+        problem = cls(
             network=network,
             request=request,
             primary_placement=tuple(primary_placement),
@@ -148,6 +148,13 @@ class AugmentationProblem:
             items=tuple(items),
             neighborhoods=neighborhoods,
         )
+        if plan is not None:
+            # Hand the generation-time edge universe to the incremental
+            # matching engine so it can skip its per-edge rebuild loop.
+            from repro.kernels.items import adopt_plan
+
+            adopt_plan(problem, plan)
+        return problem
 
     # -- derived quantities -----------------------------------------------------
     @property

@@ -99,6 +99,35 @@ class InstanceSpec:
         return cls(**dict(config))
 
 
+@dataclass(frozen=True)
+class ConstructionInputs:
+    """The raw pieces of one instance, before problem construction.
+
+    Splitting the random draws (:func:`build_inputs`) from the
+    deterministic construction (:meth:`build`) lets the kernel benchmarks
+    and differential tests time or repeat *construction only* --
+    neighborhoods plus item generation -- without re-rolling topologies.
+    """
+
+    network: MECNetwork
+    request: Request
+    primary_placement: tuple[int, ...]
+    radius: int
+    residuals: Mapping[int, float]
+    item_config: ItemGenerationConfig
+
+    def build(self) -> AugmentationProblem:
+        """Construct the problem (items + neighborhoods) from these inputs."""
+        return AugmentationProblem.build(
+            self.network,
+            self.request,
+            self.primary_placement,
+            radius=self.radius,
+            residuals=self.residuals,
+            item_config=self.item_config,
+        )
+
+
 def build_instance(spec: InstanceSpec) -> AugmentationProblem:
     """Materialise the :class:`AugmentationProblem` a spec describes.
 
@@ -106,6 +135,11 @@ def build_instance(spec: InstanceSpec) -> AugmentationProblem:
     primary placement are all drawn from ``as_rng(spec.seed)`` in a fixed
     order -- the construction is deterministic per spec.
     """
+    return build_inputs(spec).build()
+
+
+def build_inputs(spec: InstanceSpec) -> ConstructionInputs:
+    """Draw the random pieces of a spec's instance (same order as always)."""
     gen = as_rng(spec.seed)
     graph = TOPOLOGY_FAMILIES[spec.family](spec.num_nodes, gen)
     nodes = sorted(graph.nodes)
@@ -132,10 +166,10 @@ def build_instance(spec: InstanceSpec) -> AugmentationProblem:
         for _ in range(spec.chain_length)
     ]
     residuals = {v: capacities[v] * spec.residual_scale for v in capacities}
-    return AugmentationProblem.build(
-        network,
-        request,
-        primaries,
+    return ConstructionInputs(
+        network=network,
+        request=request,
+        primary_placement=tuple(primaries),
         radius=spec.radius,
         residuals=residuals,
         item_config=ItemGenerationConfig(max_backups_per_function=spec.max_backups),

@@ -1,0 +1,478 @@
+"""Vectorized BMCGAP item generation (Section 4.2-4.3 reduction).
+
+The legacy generator (:func:`repro.core.items.generate_items`) walks every
+chain position in Python: a generator expression filters the candidate
+bins, :func:`capacity_bound_items` sums ``floor(C'_u / c(f_i))`` bin by
+bin, every ladder access copies a tuple slice, and one frozen-dataclass
+constructor call per item pays seven ``object.__setattr__`` round trips.
+
+This module computes the batch-shaped parts in bulk and strips the
+per-item constant factors:
+
+* **candidate bins and ``K_i``** -- two strategies, selected by instance
+  shape (``strategy="auto"``) and both proven bit-identical to the legacy
+  loop by ``tests/test_kernels_differential.py``:
+
+  - ``"matrix"`` (large ``positions x cloudlets`` products): one boolean
+    matrix from :meth:`NeighborhoodIndex.cloudlet_membership` (itself a
+    batched CSR BFS) combined with the residual vector -- the fit test
+    ``C'_u + 1e-9 >= c(f_i)``, the positive-residual guard, the ``floor``
+    counts, and the per-position bin lists are each a single NumPy
+    expression across *all* positions;
+  - ``"fused"`` (small products, e.g. the paper's 10-cloudlet figures,
+    where even one tiny array op per position costs more than the whole
+    position): a single fused pass per position over the memoized
+    ``closed_cloudlets`` tuple -- candidate filter, ``K_i`` accumulation
+    with early exit at the budget cap, and item emission in one loop,
+    with the ``l``-hop sets still served by the batched CSR kernel
+    (:meth:`NeighborhoodIndex.prefetch` on the chain's primaries);
+* **ladders** -- full per-``r`` tuples memoized here and served without
+  the per-call slice copies of :func:`paper_cost_ladder` /
+  :func:`gain_ladder`; the *values* come from those very scalar
+  functions, so they are bit-identical by construction (``np.log`` is not
+  guaranteed to round like ``math.log``, hence nothing is recomputed
+  vectorised) -- asserted exhaustively by
+  ``tests/test_kernels_differential.py``;
+* **items** -- the same ``BackupItem`` sequence (same ordering, same
+  Python-float fields) assembled via ``__new__`` + direct ``__dict__``
+  stores instead of the frozen-dataclass constructor;
+* **edge universe** -- an :class:`ItemPlan` records the per-position
+  ``(base, keep, bins, costs, demand)`` segments for free at generation
+  time; the flattened (item, bin) arrays the incremental matching engine
+  needs materialise lazily on first solve, replacing
+  :class:`repro.matching.incremental._ProblemStatics`' per-edge loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.core.items import (
+    BackupItem,
+    ItemGenerationConfig,
+    _budget_cap,
+    gain_ladder,
+    paper_cost_ladder,
+)
+
+#: Fit/positivity slack, identical to the scalar path's literal ``1e-9``
+#: (see ``repro.core.items``; the ledger's ``EPS`` has the same value).
+_SLACK = 1e-9
+
+
+# -- bit-identical ladder tuples ----------------------------------------------
+
+_COST_TUPLES: dict[float, tuple[float, ...]] = {}
+_GAIN_TUPLES: dict[float, tuple[float, ...]] = {}
+
+
+def cost_tuple(reliability: float, k_max: int) -> tuple[float, ...]:
+    """Paper costs ``c(f, k, .)`` for ``k = 1..>=k_max``, without per-call
+    tuple copies.
+
+    Returns the full memoized tuple (possibly longer than ``k_max``);
+    ``cost_tuple(r, k)[k - 1] == paper_cost(r, k)`` exactly -- the values
+    are produced by :func:`repro.core.items.paper_cost_ladder` itself.
+    """
+    ladder = _COST_TUPLES.get(reliability)
+    if ladder is None or len(ladder) < k_max:
+        ladder = paper_cost_ladder(reliability, max(k_max, 8))
+        _COST_TUPLES[reliability] = ladder
+    return ladder
+
+
+def gain_tuple(reliability: float, k_max: int) -> tuple[float, ...]:
+    """Solver gains ``g(f, k)`` for ``k = 1..>=k_max``; same contract as
+    :func:`cost_tuple`, values from :func:`repro.core.items.gain_ladder`."""
+    ladder = _GAIN_TUPLES.get(reliability)
+    if ladder is None or len(ladder) < k_max:
+        ladder = gain_ladder(reliability, max(k_max, 8))
+        _GAIN_TUPLES[reliability] = ladder
+    return ladder
+
+
+def cost_ladder_array(reliability: float, k_max: int) -> np.ndarray:
+    """Paper costs ``c(f, k, .)`` for ``k = 1..k_max`` as an array.
+
+    ``cost_ladder_array(r, k)[k - 1] == paper_cost(r, k)`` exactly; a thin
+    array view over :func:`cost_tuple` for array-native consumers.
+    """
+    return np.asarray(cost_tuple(reliability, k_max)[:k_max], dtype=np.float64)
+
+
+def gain_ladder_array(reliability: float, k_max: int) -> np.ndarray:
+    """Solver gains ``g(f, k)`` for ``k = 1..k_max`` as an array; exact
+    values of :func:`gain_tuple`."""
+    return np.asarray(gain_tuple(reliability, k_max)[:k_max], dtype=np.float64)
+
+
+# -- the edge-universe plan ----------------------------------------------------
+
+
+class ItemPlan:
+    """The (item, bin) edge universe of one generated instance, recorded as
+    per-position segments and flattened lazily.
+
+    A segment is ``(base, keep, bins, costs, demand)``: items ``base ..
+    base + keep - 1`` (generation order) each allow every cloudlet in
+    ``bins``, with cost ``costs[k - 1]`` for the ``k``-th.  The flat
+    parallel arrays -- in the exact item-major/bin order
+    :class:`repro.matching.incremental._ProblemStatics` derives from
+    ``problem.items`` -- materialise on first access (typically the first
+    solve), so problem *construction* never pays for them.
+    """
+
+    __slots__ = ("_segments", "_arrays")
+
+    def __init__(
+        self,
+        segments: list[tuple[int, int, tuple, tuple[float, ...], float]],
+    ):
+        self._segments = segments
+        self._arrays: tuple[np.ndarray, ...] | None = None
+
+    def _materialize(self) -> tuple[np.ndarray, ...]:
+        arrays = self._arrays
+        if arrays is None:
+            edge_item: list[int] = []
+            edge_node: list = []
+            edge_cost: list[float] = []
+            edge_demand: list[float] = []
+            for base, keep, bins, costs, demand in self._segments:
+                num_bins = len(bins)
+                bins_list = list(bins)
+                for k in range(keep):
+                    edge_item.extend([base + k] * num_bins)
+                    edge_node += bins_list
+                    edge_cost.extend([costs[k]] * num_bins)
+                edge_demand.extend([demand] * (keep * num_bins))
+            arrays = self._arrays = (
+                np.asarray(edge_item, dtype=np.intp),
+                np.asarray(edge_node, dtype=np.intp),
+                np.asarray(edge_cost, dtype=np.float64),
+                np.asarray(edge_demand, dtype=np.float64),
+            )
+        return arrays
+
+    @property
+    def edge_item(self) -> np.ndarray:
+        return self._materialize()[0]
+
+    @property
+    def edge_node(self) -> np.ndarray:
+        return self._materialize()[1]
+
+    @property
+    def edge_cost(self) -> np.ndarray:
+        return self._materialize()[2]
+
+    @property
+    def edge_demand(self) -> np.ndarray:
+        return self._materialize()[3]
+
+    @property
+    def max_node(self) -> int:
+        node = self._materialize()[1]
+        return int(node.max()) if node.size else -1
+
+    @property
+    def min_node(self) -> int:
+        node = self._materialize()[1]
+        return int(node.min()) if node.size else 0
+
+
+_PLANS: "WeakKeyDictionary[object, ItemPlan]" = WeakKeyDictionary()
+
+
+def adopt_plan(problem: object, plan: ItemPlan) -> None:
+    """Attach the generation-time edge plan to a (just built) problem."""
+    _PLANS[problem] = plan
+
+
+def plan_of(problem: object) -> ItemPlan | None:
+    """The edge plan recorded for ``problem`` at generation time, if any."""
+    return _PLANS.get(problem)
+
+
+# -- vectorized generation -----------------------------------------------------
+
+#: ``chain length x num cloudlets`` above which the whole-matrix strategy
+#: beats the fused per-position pass.  Below it (the paper's figure scale:
+#: 10 cloudlets, chains <= 10) every tiny array op costs more than the
+#: work it replaces.
+_MATRIX_MIN_CELLS = 256
+
+
+def generate_items_vectorized(
+    request,
+    primary_placement: Sequence[int],
+    neighborhoods,
+    residuals: Mapping[int, float],
+    config: ItemGenerationConfig,
+    strategy: str = "auto",
+) -> tuple[list[BackupItem], ItemPlan | None] | None:
+    """Array-native :func:`repro.core.items.generate_items`.
+
+    Returns ``(items, plan)`` with ``items`` the bit-identical
+    ``BackupItem`` list of the legacy loop and ``plan`` the lazily
+    flattened edge universe (``None`` when node ids are not integers), or
+    ``None`` when this index cannot serve the batch interface (legacy
+    engine, or built without cloudlets) -- the caller then falls back to
+    the scalar path.
+
+    ``strategy`` selects the candidate/count formulation: ``"matrix"``
+    (bulk NumPy over positions x cloudlets), ``"fused"`` (one lean pass
+    per position), or ``"auto"`` (by instance shape).  Both produce the
+    identical item sequence.
+    """
+    chain = request.chain
+    cl_list = neighborhoods.cloudlet_ids_list
+    if cl_list is None:
+        return None
+
+    integer_ids = all(type(u) is int for u in cl_list)
+    num_cl = len(cl_list)
+    if num_cl == 0:
+        return [], ItemPlan([]) if integer_ids else None
+
+    # Gain still needed to lift the baseline reliability to the expectation
+    # (identical expression to the scalar path).
+    needed_gain = max(
+        0.0, -math.log(chain.primaries_reliability()) - request.budget
+    )
+
+    if strategy == "auto":
+        strategy = (
+            "matrix" if chain.length * num_cl >= _MATRIX_MIN_CELLS else "fused"
+        )
+    if strategy == "matrix":
+        return _generate_matrix(
+            request, primary_placement, neighborhoods, residuals, config,
+            cl_list, integer_ids, needed_gain,
+        )
+    if strategy != "fused":
+        raise ValueError(f"unknown generation strategy {strategy!r}")
+    return _generate_fused(
+        request, primary_placement, neighborhoods, residuals, config,
+        integer_ids, needed_gain,
+    )
+
+
+def _generate_fused(
+    request,
+    primary_placement: Sequence[int],
+    neighborhoods,
+    residuals: Mapping[int, float],
+    config: ItemGenerationConfig,
+    integer_ids: bool,
+    needed_gain: float,
+) -> tuple[list[BackupItem], ItemPlan | None] | None:
+    """One lean pass per position: candidate filter, ``K_i`` accumulation
+    (early exit at the effective cap), and item emission fused into a
+    single loop over the memoized ``closed_cloudlets`` tuple."""
+    if neighborhoods.radius > 1:
+        # One batched CSR BFS covers every primary of the chain; at
+        # radius <= 1 the sets come off the adjacency dict, nothing to batch.
+        neighborhoods.prefetch(primary_placement)
+    # Warm-set lookups bypass the accessor's miss handling (package-internal
+    # shortcut; closed_cloudlets fills the same dict on a miss).
+    cached_bins = neighborhoods._closed_cloudlets.get
+    closed = neighborhoods.closed_cloudlets
+    get = residuals.get
+    headroom = config.budget_headroom
+    max_backups = config.max_backups_per_function
+    floor = config.gain_floor
+
+    new_item = BackupItem.__new__
+    items: list[BackupItem] = []
+    segments: list[tuple[int, int, tuple, tuple[float, ...], float]] = []
+    for i, func in enumerate(request.chain):
+        demand = func.demand
+        if demand <= 0.0:
+            # Legacy path raises ValidationError (via capacity_bound_items)
+            # for non-positive demands; defer to it.
+            return None
+        v = primary_placement[i]
+        neighborhood_bins = cached_bins(v)
+        if neighborhood_bins is None:
+            neighborhood_bins = closed(v)
+
+        bins_list: list = []
+        k_bound = 0
+        for u in neighborhood_bins:
+            res = get(u, 0.0)
+            slack = res + _SLACK
+            if slack >= demand:
+                # Same fit test as the scalar path; the count floor((C'_u
+                # + 1e-9) / c(f_i)) applies only to positive residuals.
+                bins_list.append(u)
+                if res > 0.0:
+                    k_bound += int(slack / demand)
+        if not bins_list:
+            continue
+        r = func.reliability
+        k_max = k_bound
+        if headroom is not None and r < 1.0:
+            cap = _budget_cap(r, needed_gain, headroom)
+            if cap < k_max:
+                k_max = cap
+        if max_backups is not None and max_backups < k_max:
+            k_max = max_backups
+        if k_max <= 0:
+            continue
+
+        gains = gain_tuple(r, k_max)
+        keep = k_max
+        if floor is not None:
+            # First k with gain below the floor ends the prefix -- gains
+            # decrease in k, mirroring the scalar loop's ``break``.
+            for j in range(k_max):
+                if gains[j] < floor:
+                    keep = j
+                    break
+        if keep == 0:
+            continue
+
+        costs = cost_tuple(r, keep)
+        bins = tuple(bins_list)
+        name = func.name
+        base = len(items)
+        for k in range(1, keep + 1):
+            # Same field values as BackupItem(...), without the frozen-
+            # dataclass __setattr__ round trips.
+            item = new_item(BackupItem)
+            d = item.__dict__
+            d["position"] = i
+            d["k"] = k
+            d["function_name"] = name
+            d["demand"] = demand
+            d["gain"] = gains[k - 1]
+            d["cost"] = costs[k - 1]
+            d["bins"] = bins
+            items.append(item)
+        if integer_ids:
+            segments.append((base, keep, bins, costs, demand))
+
+    return items, ItemPlan(segments) if integer_ids else None
+
+
+def _generate_matrix(
+    request,
+    primary_placement: Sequence[int],
+    neighborhoods,
+    residuals: Mapping[int, float],
+    config: ItemGenerationConfig,
+    cl_list: list,
+    integer_ids: bool,
+    needed_gain: float,
+) -> tuple[list[BackupItem], ItemPlan | None] | None:
+    """Whole-matrix strategy: candidates and ``K_i`` as bulk NumPy
+    expressions over all positions at once."""
+    funcs = list(request.chain)
+    length = len(funcs)
+    demands = np.fromiter((f.demand for f in funcs), dtype=np.float64, count=length)
+    if demands.min() <= 0.0:
+        # Legacy path raises ValidationError (via capacity_bound_items) for
+        # non-positive demands; defer to it rather than divide by zero here.
+        return None
+    member = neighborhoods.cloudlet_membership(primary_placement)
+    if member is None:  # pragma: no cover - cl_list implies membership support
+        return None
+    num_cl = len(cl_list)
+
+    # Same literal tests as the scalar path, across all positions at once:
+    # a candidate bin is a neighborhood cloudlet with C'_u + 1e-9 >= c(f_i);
+    # its item count floor((C'_u + 1e-9) / c(f_i)) counts only when C'_u > 0.
+    res_cl = np.fromiter(
+        (residuals.get(u, 0.0) for u in cl_list), dtype=np.float64, count=num_cl
+    )
+    res_slack = res_cl + _SLACK
+    allowed = member & (res_slack[None, :] >= demands[:, None])
+    counts = (res_slack[None, :] / demands[:, None]).astype(np.int64)
+    counts *= allowed & (res_cl > 0.0)[None, :]
+    k_bounds = counts.sum(axis=1).tolist()
+
+    # Per-position candidate-bin lists from ONE nonzero pass over the
+    # matrix: row-major order keeps each row's columns ascending, i.e. the
+    # sorted bin order of the legacy closed_cloudlets path.
+    rows, cols = np.nonzero(allowed)
+    ends = np.cumsum(np.bincount(rows, minlength=length)).tolist()
+    cols_list = cols.tolist()
+
+    headroom = config.budget_headroom
+    max_backups = config.max_backups_per_function
+    floor = config.gain_floor
+
+    new_item = BackupItem.__new__
+    items: list[BackupItem] = []
+    segments: list[tuple[int, int, tuple, tuple[float, ...], float]] = []
+    start = 0
+    for i in range(length):
+        end = ends[i]
+        if end == start:
+            continue
+        func = funcs[i]
+        r = func.reliability
+        k_max = k_bounds[i]
+        if headroom is not None and r < 1.0:
+            cap = _budget_cap(r, needed_gain, headroom)
+            if cap < k_max:
+                k_max = cap
+        if max_backups is not None and max_backups < k_max:
+            k_max = max_backups
+        if k_max <= 0:
+            start = end
+            continue
+
+        gains = gain_tuple(r, k_max)
+        keep = k_max
+        if floor is not None:
+            # First k with gain below the floor ends the prefix -- gains
+            # decrease in k, mirroring the scalar loop's ``break``.
+            for j in range(k_max):
+                if gains[j] < floor:
+                    keep = j
+                    break
+        if keep == 0:
+            start = end
+            continue
+
+        costs = cost_tuple(r, keep)
+        bins = tuple(cl_list[c] for c in cols_list[start:end])
+        name = func.name
+        demand = func.demand
+        base = len(items)
+        for k in range(1, keep + 1):
+            # Same field values as BackupItem(...), without the frozen-
+            # dataclass __setattr__ round trips.
+            item = new_item(BackupItem)
+            d = item.__dict__
+            d["position"] = i
+            d["k"] = k
+            d["function_name"] = name
+            d["demand"] = demand
+            d["gain"] = gains[k - 1]
+            d["cost"] = costs[k - 1]
+            d["bins"] = bins
+            items.append(item)
+        if integer_ids:
+            segments.append((base, keep, bins, costs, demand))
+        start = end
+
+    return items, ItemPlan(segments) if integer_ids else None
+
+
+def clear_caches() -> None:
+    """Drop every recorded edge plan (cold-construction benchmarks, tests).
+
+    The ladder tuple memos deliberately survive: they are value-level
+    tables (bit-identical to the scalar ladders by construction) with the
+    same process lifetime as ``repro.core.items``' own ladder memo, so
+    clearing them here would only skew engine comparisons, not make
+    anything "colder" in a way the scalar path experiences.
+    """
+    _PLANS.clear()

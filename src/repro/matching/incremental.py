@@ -54,15 +54,19 @@ ledger exactly as the full-rebuild path does.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 from weakref import WeakKeyDictionary
 
 import numpy as np
 
 from repro.core.items import reliability_ladder
 from repro.core.problem import AugmentationProblem
+from repro.kernels.items import plan_of
 from repro.netmodel.capacity import EPS, CapacityLedger
 from repro.util.errors import ValidationError
+
+if TYPE_CHECKING:  # import at runtime would cycle through repro.matching
+    from repro.kernels.arena import MatrixArena
 
 
 class _ProblemStatics:
@@ -78,26 +82,41 @@ class _ProblemStatics:
                  "max_node", "rel_ladders")
 
     def __init__(self, problem: AugmentationProblem) -> None:
-        edge_item: list[int] = []
-        edge_node: list[int] = []
-        edge_cost: list[float] = []
-        edge_demand: list[float] = []
-        for idx, item in enumerate(problem.items):
-            for u in item.bins:
-                if u < 0:
-                    raise ValidationError(
-                        f"negative cloudlet id {u} unsupported by the "
-                        "incremental engine"
-                    )
-                edge_item.append(idx)
-                edge_node.append(u)
-                edge_cost.append(item.cost)
-                edge_demand.append(item.demand)
-        self.edge_item = np.asarray(edge_item, dtype=np.intp)
-        self.edge_node = np.asarray(edge_node, dtype=np.intp)
-        self.edge_cost = np.asarray(edge_cost, dtype=np.float64)
-        self.edge_demand = np.asarray(edge_demand, dtype=np.float64)
-        self.max_node = max(edge_node, default=-1)
+        plan = plan_of(problem)
+        if plan is not None:
+            # Edge universe recorded at generation time by the item kernel --
+            # the same item-major/bin-order arrays the loop below derives.
+            if plan.min_node < 0:
+                raise ValidationError(
+                    f"negative cloudlet id {plan.min_node} unsupported by the "
+                    "incremental engine"
+                )
+            self.edge_item = plan.edge_item
+            self.edge_node = plan.edge_node
+            self.edge_cost = plan.edge_cost
+            self.edge_demand = plan.edge_demand
+            self.max_node = plan.max_node
+        else:
+            edge_item: list[int] = []
+            edge_node: list[int] = []
+            edge_cost: list[float] = []
+            edge_demand: list[float] = []
+            for idx, item in enumerate(problem.items):
+                for u in item.bins:
+                    if u < 0:
+                        raise ValidationError(
+                            f"negative cloudlet id {u} unsupported by the "
+                            "incremental engine"
+                        )
+                    edge_item.append(idx)
+                    edge_node.append(u)
+                    edge_cost.append(item.cost)
+                    edge_demand.append(item.demand)
+            self.edge_item = np.asarray(edge_item, dtype=np.intp)
+            self.edge_node = np.asarray(edge_node, dtype=np.intp)
+            self.edge_cost = np.asarray(edge_cost, dtype=np.float64)
+            self.edge_demand = np.asarray(edge_demand, dtype=np.float64)
+            self.max_node = max(edge_node, default=-1)
         per_position = [0] * problem.request.chain.length
         for item in problem.items:
             if item.k > per_position[item.position]:
@@ -134,6 +153,14 @@ class RoundState:
     rebuild_every:
         Refresh the full residual snapshot from the ledger every this-many
         rounds (``0`` = pure delta maintenance, the default).
+    arena:
+        Optional :class:`repro.kernels.arena.MatrixArena` to lease the
+        residual snapshot and scratch index maps from instead of allocating
+        fresh arrays per solve.  Must be this thread's arena
+        (:func:`repro.kernels.arena.thread_arena`) -- see the locality
+        contract in ``docs/performance.md``.  Every leased element is
+        (re)initialised below before any read, so arena solves are
+        bit-identical to ``arena=None`` solves.
     """
 
     def __init__(
@@ -141,6 +168,7 @@ class RoundState:
         problem: AugmentationProblem,
         ledger: CapacityLedger,
         rebuild_every: int = 0,
+        arena: MatrixArena | None = None,
     ):
         if rebuild_every < 0:
             raise ValidationError(f"rebuild_every must be >= 0, got {rebuild_every}")
@@ -160,17 +188,29 @@ class RoundState:
         self._edge_demand = statics.edge_demand
         self._rel_ladders = statics.rel_ladders
         n_items = len(self._items)
-        self._item_alive = np.ones(n_items, dtype=bool)
-        self._num_alive = n_items
         size = max(max(self._nodes, default=-1), statics.max_node) + 1
-        # Residual snapshot, delta-maintained: exact ledger floats, refreshed
-        # only for touched nodes (plus the full refresh of rebuild_every).
-        self._res = np.zeros(size, dtype=np.float64)
+        if arena is not None:
+            self._item_alive = arena.take("item_alive", n_items, bool)
+            self._item_alive[:] = True
+            # Residual snapshot, delta-maintained: exact ledger floats,
+            # refreshed only for touched nodes (plus the full refresh of
+            # rebuild_every).  Zero-filled like the fresh allocation: gap
+            # entries (non-ledger nodes below `size`) are read by
+            # build_edges' `res[v] > 0` test and must not hold stale floats.
+            self._res = arena.take("res", size, np.float64)
+            self._res[:] = 0.0
+            # Scratch index maps, overwritten each round before use.
+            self._node_to_row = arena.take("node_to_row", size, np.intp)
+            self._col_of = arena.take("col_of", n_items, np.intp)
+            self._arange = arena.arange(max(size, n_items))
+        else:
+            self._item_alive = np.ones(n_items, dtype=bool)
+            self._res = np.zeros(size, dtype=np.float64)
+            self._node_to_row = np.zeros(size, dtype=np.intp)
+            self._col_of = np.zeros(n_items, dtype=np.intp)
+            self._arange = np.arange(max(size, n_items), dtype=np.intp)
+        self._num_alive = n_items
         self._refresh_residuals()
-        # Scratch index maps, overwritten each round before use.
-        self._node_to_row = np.zeros(size, dtype=np.intp)
-        self._col_of = np.zeros(n_items, dtype=np.intp)
-        self._arange = np.arange(max(size, n_items), dtype=np.intp)
         self._rounds_applied = 0
 
     # -- queries --------------------------------------------------------------

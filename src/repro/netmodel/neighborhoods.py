@@ -17,6 +17,16 @@ computed (the index itself is cached per radius by
 ``None`` is not supported here -- the "unrestricted placement" baseline
 simply uses ``radius = |V| - 1``, which reaches the whole (connected)
 graph.
+
+Two engines serve the sets (identical results; ``tests/test_kernels_csr.py``
+proves it property-style against networkx):
+
+* the array-native :class:`repro.kernels.csr.NeighborhoodKernel` (default;
+  CSR adjacency + vectorized multi-source frontier expansion, shared per
+  ``(graph, radius)`` so every index over one topology reuses the BFS
+  work), selected whenever :func:`repro.kernels.kernels_enabled` is true;
+* the legacy per-source deque BFS (:func:`bfs_within`), kept verbatim as
+  the differential reference and selected by ``REPRO_KERNELS=0``.
 """
 
 from __future__ import annotations
@@ -25,14 +35,22 @@ from collections import deque
 from typing import Iterable, Sequence
 
 import networkx as nx
+import numpy as np
+
+from repro.kernels import kernels_enabled
+from repro.kernels.csr import NeighborhoodKernel, neighborhood_kernel
 
 
 def bfs_within(graph: nx.Graph, source: int, radius: int) -> dict[int, int]:
     """Hop distances from ``source`` to every node within ``radius`` hops.
 
     A plain deque-based truncated BFS; returns ``{node: distance}`` including
-    ``source`` itself at distance 0.
+    ``source`` itself at distance 0.  ``radius`` must be ``>= 0`` -- a
+    negative radius is always a caller bug (it used to fall through to an
+    *untruncated* BFS because no level could ever equal it).
     """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
     dist = {source: 0}
     if radius == 0:
         return dist
@@ -56,7 +74,10 @@ class NeighborhoodIndex:
     and is memoized; the cloudlet-restricted lists are likewise derived on
     demand.  Accessors therefore cost one BFS the first time and a dict
     lookup afterwards, and an index shared across a batch of requests
-    accumulates exactly the sets the batch touches.
+    accumulates exactly the sets the batch touches.  :meth:`prefetch`
+    additionally lets a caller batch the BFS of many sources into one
+    vectorized frontier expansion (kernel engine only; a no-op warm-up
+    loop on the legacy engine).
 
     Parameters
     ----------
@@ -68,6 +89,11 @@ class NeighborhoodIndex:
         Optional iterable of cloudlet node ids; when given, the index can
         also serve the cloudlet-restricted neighbor lists used for
         secondary placement.
+    kernel:
+        Explicit :class:`NeighborhoodKernel` to serve reach masks from.
+        Defaults to the memoized per-``(graph, radius)`` kernel when the
+        array kernels are enabled, and to ``None`` (legacy deque BFS)
+        otherwise.
     """
 
     def __init__(
@@ -75,30 +101,91 @@ class NeighborhoodIndex:
         graph: nx.Graph,
         radius: int,
         cloudlets: Iterable[int] | None = None,
+        kernel: NeighborhoodKernel | None = None,
     ):
         if radius < 0:
             raise ValueError(f"radius must be >= 0, got {radius}")
         self._graph = graph
         self._radius = radius
-        self._nodes = set(graph.nodes)
+        self._nodes_cache: set[int] | None = None
         self._cloudlet_set = set(cloudlets) if cloudlets is not None else None
         self._closed: dict[int, frozenset[int]] = {}
         self._closed_cloudlets: dict[int, tuple[int, ...]] = {}
+        # The engine choice is made here (env read once, deterministic for
+        # the index lifetime), but the kernel *object* is only created on
+        # first mask access: the radius <= 1 accessors run straight off the
+        # adjacency dict and never need it.
+        self._kernel = kernel
+        self._kernel_pending = kernel is None and kernels_enabled()
+        # Sorted cloudlet ids for the kernel engine; the id / node-index
+        # *arrays* backing the vectorized accessors are built lazily --
+        # at radius <= 1 the hot accessors never touch them.
+        self._cl_list: list[int] | None = None
+        self._cl_ids: np.ndarray | None = None
+        self._cl_pos: np.ndarray | None = None
+        # Raw adjacency dict-of-dicts: graph.adj builds an AdjacencyView per
+        # access and routes membership through __getitem__; the underlying
+        # dict is stable here because MECNetwork freezes its graph.
+        self._adj: dict = graph._adj
+        if (
+            kernel is not None or self._kernel_pending
+        ) and self._cloudlet_set is not None:
+            adj = self._adj
+            self._cl_list = sorted(v for v in self._cloudlet_set if v in adj)
+
+    def _resolve_kernel(self) -> NeighborhoodKernel | None:
+        """The serving kernel, created on first need (``None`` = legacy)."""
+        if self._kernel_pending:
+            self._kernel_pending = False
+            self._kernel = neighborhood_kernel(self._graph, self._radius)
+        return self._kernel
+
+    @property
+    def _nodes(self) -> set[int]:
+        """The graph's node set (materialised on first use)."""
+        nodes = self._nodes_cache
+        if nodes is None:
+            nodes = self._nodes_cache = set(self._graph.nodes)
+        return nodes
+
+    def _cl_positions(self) -> np.ndarray | None:
+        """Node-index positions of the sorted cloudlet ids (lazy)."""
+        if self._cl_pos is None and self._cl_list is not None:
+            ids = self._cl_list
+            index_of = self._resolve_kernel().index_of
+            self._cl_ids = np.asarray(ids)
+            self._cl_pos = np.fromiter(
+                (index_of[v] for v in ids), dtype=np.intp, count=len(ids)
+            )
+        return self._cl_pos
 
     @property
     def radius(self) -> int:
         """The radius ``l`` this index was built for."""
         return self._radius
 
+    @property
+    def kernel(self) -> NeighborhoodKernel | None:
+        """The array kernel serving this index (``None`` = legacy BFS)."""
+        return self._resolve_kernel()
+
     def closed(self, v: int) -> frozenset[int]:
         """``N_l^+(v)`` -- nodes within ``l`` hops of ``v``, including ``v``."""
         closed = self._closed.get(v)
         if closed is None:
-            if v not in self._nodes:
-                raise KeyError(f"unknown node {v!r}")
-            closed = self._closed[v] = frozenset(
-                bfs_within(self._graph, v, self._radius)
-            )
+            kernel = self._resolve_kernel()
+            if kernel is not None:
+                reached = np.nonzero(kernel.mask(v))[0].tolist()
+                if kernel.contiguous:
+                    closed = frozenset(reached)
+                else:
+                    order = kernel.order
+                    closed = frozenset(order[i] for i in reached)
+            else:
+                if v not in self._nodes:
+                    raise KeyError(f"unknown node {v!r}")
+                closed = frozenset(bfs_within(self._graph, v, self._radius))
+            self._closed[v] = closed
         return closed
 
     def open(self, v: int) -> frozenset[int]:
@@ -116,25 +203,106 @@ class NeighborhoodIndex:
                     f"no cloudlet-restricted neighborhood for node {v!r}; "
                     "was the index built with cloudlets?"
                 )
-            cloudlet_set = self._cloudlet_set
-            bins = self._closed_cloudlets[v] = tuple(
-                sorted(u for u in self.closed(v) if u in cloudlet_set)
-            )
+            if self._cl_list is not None and self._radius <= 1:
+                # radius <= 1 fast path: N_1^+(v) = {v} | adj(v) straight
+                # off the adjacency dict -- no BFS, no mask.  _cl_list is
+                # sorted, so the filtered tuple is already in the legacy
+                # (sorted) order.
+                adj_v = self._adj.get(v)
+                if adj_v is None:
+                    raise KeyError(f"unknown node {v!r}")
+                if self._radius == 0:
+                    bins = (v,) if v in self._cloudlet_set else ()
+                else:
+                    bins = tuple(
+                        u for u in self._cl_list if u == v or u in adj_v
+                    )
+            elif self._cl_list is not None:
+                # ids are pre-sorted, so the masked gather is already the
+                # sorted tuple the legacy path produces.
+                cl_pos = self._cl_positions()  # also materialises _cl_ids
+                mask = self._kernel.mask(v)
+                bins = tuple(self._cl_ids[mask[cl_pos]].tolist())
+            else:
+                cloudlet_set = self._cloudlet_set
+                bins = tuple(
+                    sorted(u for u in self.closed(v) if u in cloudlet_set)
+                )
+            self._closed_cloudlets[v] = bins
         return bins
 
     def contains(self, v: int, u: int) -> bool:
         """Whether ``u ∈ N_l^+(v)``."""
+        kernel = self._resolve_kernel()
+        if kernel is not None and v not in self._closed:
+            mask = kernel.mask(v)  # raises KeyError for unknown v
+            iu = kernel.index_of.get(u)
+            return False if iu is None else bool(mask[iu])
         return u in self.closed(v)
 
     def degree(self, v: int) -> int:
         """``d_v = |N_l(v)|`` -- the neighborhood size used in the paper's
         complexity bounds (``d_min``/``d_max``)."""
+        kernel = self._resolve_kernel()
+        if kernel is not None and v not in self._closed:
+            return int(kernel.mask(v).sum()) - 1
         return len(self.closed(v)) - 1
 
     def degree_bounds(self) -> tuple[int, int]:
         """``(d_min, d_max)`` over all nodes (materialises every set)."""
-        degrees = [len(self.closed(v)) - 1 for v in self._nodes]
+        self.prefetch(self._nodes)
+        degrees = [self.degree(v) for v in self._nodes]
         return (min(degrees), max(degrees))
+
+    # -- batch interface (array kernels) ---------------------------------------
+    def prefetch(self, nodes: Iterable[int]) -> None:
+        """Compute the sets of ``nodes`` ahead of access.
+
+        On the kernel engine every not-yet-known source joins *one*
+        vectorized multi-source BFS (a request chain's primaries cost a
+        single frontier expansion); on the legacy engine this just warms
+        the per-node memo.  Raises ``KeyError`` for unknown ids, like the
+        accessors would.
+        """
+        kernel = self._resolve_kernel()
+        if kernel is not None:
+            kernel.masks_for(list(nodes))
+        else:
+            for v in nodes:
+                self.closed(v)
+
+    @property
+    def cloudlet_ids_array(self) -> np.ndarray | None:
+        """Sorted cloudlet ids as an array, or ``None`` off the kernel path.
+
+        Aligned with the columns of :meth:`cloudlet_membership`.
+        """
+        if self._cl_list is None:
+            return None
+        self._cl_positions()
+        return self._cl_ids
+
+    @property
+    def cloudlet_ids_list(self) -> list[int] | None:
+        """Sorted cloudlet ids as a plain list (same alignment), or ``None``
+        off the kernel path."""
+        return self._cl_list
+
+    def cloudlet_membership(self, nodes: Sequence[int]) -> np.ndarray | None:
+        """Boolean matrix ``M[s, j]`` = "cloudlet ``j`` is in ``N_l^+(nodes[s])``".
+
+        Columns follow :attr:`cloudlet_ids_array` (sorted cloudlet ids).
+        Returns ``None`` when the index runs the legacy engine or was built
+        without cloudlets; :mod:`repro.kernels.items` falls back to the
+        scalar generation loop in that case.
+        """
+        cl_pos = self._cl_positions()
+        if cl_pos is None:
+            return None
+        masks = self._kernel.masks_for(list(nodes))
+        if not masks:
+            return np.zeros((0, len(cl_pos)), dtype=bool)
+        return np.stack(masks)[:, cl_pos]
 
 
 def neighborhood_sequence(

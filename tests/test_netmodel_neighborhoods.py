@@ -41,6 +41,12 @@ class TestBfsWithin:
                 }
                 assert ours == reference
 
+    def test_negative_radius_rejected(self):
+        # A negative radius used to fall through to an *untruncated* BFS
+        # (no level could ever equal it); it is always a caller bug.
+        with pytest.raises(ValueError, match="radius must be >= 0, got -1"):
+            bfs_within(line_topology(5), 2, -1)
+
 
 class TestNeighborhoodIndex:
     def test_line_radius_1(self):
