@@ -9,7 +9,7 @@ under the Section 7.1 defaults and reports the exact optimum's reliability
 
 from __future__ import annotations
 
-from benchmarks.conftest import trials_per_point, emit
+from benchmarks.conftest import trials_per_point, emit, emit_json
 from repro.algorithms.ilp_exact import ILPAlgorithm
 from repro.experiments.runner import run_point
 from repro.experiments.settings import DEFAULT_SETTINGS
@@ -47,6 +47,26 @@ def bench_lhop_radius(benchmark, results_dir):
             rows,
             title=f"Ablation: locality radius l ({trials} trials/point)",
         ),
+    )
+
+    emit_json(
+        results_dir,
+        "BENCH_ablation_lhop",
+        config={
+            "workload": "locality radius ablation, exact ILP optimum",
+            "radii": [radius for _, radius in RADII],
+            "trials_per_point": trials,
+            "seed": 17,
+        },
+        points=[
+            {
+                "radius": label,
+                "reliability_ilp": reliability,
+                "expectation_met_rate": met,
+                "mean_backups": backups,
+            }
+            for label, reliability, met, backups in rows
+        ],
     )
 
     reliabilities = [row[1] for row in rows]

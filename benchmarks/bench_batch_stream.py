@@ -9,7 +9,7 @@ the operator-facing metrics the per-request figures cannot show.
 
 from __future__ import annotations
 
-from benchmarks.conftest import trials_per_point, emit
+from benchmarks.conftest import trials_per_point, emit, emit_json
 from repro.algorithms.baselines import GreedyGain
 from repro.algorithms.heuristic import MatchingHeuristic
 from repro.algorithms.ilp_exact import ILPAlgorithm
@@ -60,6 +60,27 @@ def bench_request_stream(benchmark, results_dir):
                 f"({streams} streams/algorithm)"
             ),
         ),
+    )
+
+    emit_json(
+        results_dir,
+        "BENCH_batch_stream",
+        config={
+            "workload": "shared-ledger request stream, per-request augmenters",
+            "num_requests": NUM_REQUESTS,
+            "streams_per_algorithm": streams,
+            "seed": 41,
+        },
+        points=[
+            {
+                "augmenter": name,
+                "acceptance_rate": acceptance,
+                "expectation_met_rate": met,
+                "mean_reliability": reliability,
+                "final_utilisation": utilisation,
+            }
+            for name, acceptance, met, reliability, utilisation in rows
+        ],
     )
 
     by_name = {row[0]: row for row in rows}

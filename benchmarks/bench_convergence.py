@@ -8,7 +8,7 @@ the empirical justification for this repository's smaller bench defaults.
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit, trials_per_point
+from benchmarks.conftest import emit, emit_json, trials_per_point
 from repro.algorithms.heuristic import MatchingHeuristic
 from repro.experiments.convergence import convergence_table, trials_for_half_width
 from repro.experiments.settings import DEFAULT_SETTINGS
@@ -38,6 +38,26 @@ def bench_trial_convergence(benchmark, results_dir):
             title="Trial-count convergence (Heuristic, default settings)",
         )
         + f"\n\ntrials needed for +/-0.01 at 95%: {needed or f'>{checkpoints[-1]}'}",
+    )
+
+    emit_json(
+        results_dir,
+        "BENCH_trial_convergence",
+        config={
+            "workload": "running-mean convergence, Heuristic at default settings",
+            "checkpoints": checkpoints,
+            "seed": 71,
+        },
+        points=[
+            {
+                "trials": p.trials,
+                "mean_reliability": p.mean_reliability,
+                "std_error": p.std_error,
+                "half_width_95": p.half_width_95,
+            }
+            for p in table
+        ],
+        extra={"trials_needed_for_001": needed},
     )
 
     half_widths = [p.half_width_95 for p in table]

@@ -9,7 +9,7 @@ not measure.
 
 from __future__ import annotations
 
-from benchmarks.conftest import trials_per_point, emit
+from benchmarks.conftest import trials_per_point, emit, emit_json
 from repro.algorithms.heuristic import MatchingHeuristic
 from repro.experiments.settings import DEFAULT_SETTINGS
 from repro.experiments.workload import make_trial
@@ -72,6 +72,31 @@ def bench_failover_by_radius(benchmark, results_dir):
                 f"horizon {SIM_CONFIG.horizon:.0f})"
             ),
         ),
+    )
+
+    emit_json(
+        results_dir,
+        "BENCH_failover_by_radius",
+        config={
+            "workload": "discrete-event failover simulation vs locality radius",
+            "radii": [radius for _, radius in RADII],
+            "instances_per_radius": instances,
+            "horizon": SIM_CONFIG.horizon,
+            "base_delay": SIM_CONFIG.base_delay,
+            "per_hop_delay": SIM_CONFIG.per_hop_delay,
+            "seed": 51,
+        },
+        points=[
+            {
+                "radius": label,
+                "static_reliability": static_rel,
+                "simulated_availability": avail,
+                "dead_fraction": dead,
+                "switchover_fraction": switch,
+                "mean_switchover_ms": mean_sw,
+            }
+            for label, static_rel, avail, dead, switch, mean_sw in rows
+        ],
     )
 
     # the locality cost signal: mean switchover is weakly increasing in l

@@ -9,7 +9,7 @@ arrival order -- a bound no sequential policy can beat.
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit, trials_per_point
+from benchmarks.conftest import emit, emit_json, trials_per_point
 from repro.algorithms.baselines import GreedyGain
 from repro.algorithms.heuristic import MatchingHeuristic
 from repro.experiments.batch import run_joint_comparison
@@ -66,6 +66,27 @@ def bench_sequential_vs_joint(benchmark, results_dir):
                 f"{batches} batches/algorithm; joint = clairvoyant ILP)"
             ),
         ),
+    )
+
+    emit_json(
+        results_dir,
+        "BENCH_sequential_vs_joint",
+        config={
+            "workload": "sequential admission vs clairvoyant joint ILP",
+            "batch_size": BATCH_SIZE,
+            "batches_per_algorithm": batches,
+            "seed": 61,
+        },
+        points=[
+            {
+                "sequential_augmenter": name,
+                "slo_met_sequential": seq_met,
+                "slo_met_joint": joint_met,
+                "mean_reliability_sequential": seq_rel,
+                "mean_reliability_joint": joint_rel,
+            }
+            for name, seq_met, joint_met, seq_rel, joint_rel in rows
+        ],
     )
 
     for row in rows:

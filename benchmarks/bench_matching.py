@@ -1,21 +1,58 @@
-"""Ablation: the from-scratch Hungarian solver vs scipy's assignment solver.
+"""Matching backends: cross-check and fig3-shape round-replay timings.
 
-Algorithm 2's inner loop is a min-cost maximum matching; this bench
-measures both backends on matching instances shaped like the ones the
-heuristic actually builds (|V| cloudlet rows vs N item columns, sparse
-locality edges) and on dense square assignment matrices.
+Algorithm 2's inner loop is a min-cost maximum matching; this bench covers
+the four backends of :mod:`repro.matching.mincost` two ways:
+
+* **cross-check grid** -- every backend solves the same heuristic-shaped
+  instances; cardinality and total cost must agree exactly (the exactness
+  contract -- pairings may permute within equal-cost matchings);
+* **fig3-shape round replay** -- the round-graph *sequence* a real
+  Algorithm 2 solve produces on Figure-3-shaped instances is captured
+  once (from the incremental engine under the dense reference backend),
+  each backend's identity is asserted on every captured graph, and only
+  then are the raw matchers timed over the whole sequence.  Passes are
+  cache-cold: a fresh workspace (dense) or a fresh dual store (warm) per
+  pass, min-of-reps reported.
+
+The replay is where the sparse backend earns its cutoff: radius-1
+locality makes the round graphs ~10% dense, so the CSR path skips the
+``(n + m)^2`` big-M padding the dense reduction pays for.  The warm
+solver's per-round Python sweep loses to scipy's C assignment kernel on
+wall-clock despite doing less dual work -- recorded honestly below; its
+value is the cross-round dual contract (see ``docs/performance.md``).
+
+Run standalone for a quick smoke check (used by CI)::
+
+    python benchmarks/bench_matching.py --quick
 """
 
 from __future__ import annotations
 
+import os
+import sys
 import time
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone: bootstrap repo + src onto the path
+    _root = Path(__file__).resolve().parent.parent
+    for entry in (str(_root), str(_root / "src")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import emit, emit_json
+from benchmarks.conftest import RESULTS_DIR, emit, emit_json
+from repro.algorithms.heuristic import MatchingHeuristic
+from repro.experiments.instances import InstanceSpec, build_instance
 from repro.matching.hungarian import solve_assignment
-from repro.matching.mincost import min_cost_max_matching
+from repro.matching.incremental import RoundState, warm_solver_for
+from repro.matching.mincost import (
+    BACKENDS,
+    MatchingWorkspace,
+    min_cost_max_matching,
+    min_cost_max_matching_arrays,
+)
 from repro.util.tables import format_table
 
 
@@ -29,7 +66,7 @@ def _heuristic_shaped_edges(n_rows: int, n_cols: int, seed: int):
     }
 
 
-@pytest.mark.parametrize("backend", ["scipy", "own"])
+@pytest.mark.parametrize("backend", list(BACKENDS))
 def bench_mincost_heuristic_shape(benchmark, backend):
     """10 cloudlets x 150 items at 30% edge density (one Algorithm 2 round)."""
     edges = _heuristic_shaped_edges(10, 150, seed=5)
@@ -45,6 +82,8 @@ def bench_hungarian_dense(benchmark, size):
     _, total = benchmark(solve_assignment, cost)
     assert total > 0
 
+
+# -- cross-check grid --------------------------------------------------------------
 
 #: (rows, cols, seed) instances for the backend cross-check.
 CROSSCHECK_GRID = [(10, 100, 1), (10, 300, 2), (20, 200, 3)]
@@ -64,59 +103,306 @@ def _timed_solve(n_rows, n_cols, edges, backend):
     return result, best
 
 
-def bench_matching_report(benchmark, results_dir):
-    """Correctness cross-check table (and timings) for the two backends."""
+def run_crosscheck():
+    """Every backend on every grid instance; exact cardinality/cost agreement."""
+    points = []
+    for n_rows, n_cols, seed in CROSSCHECK_GRID:
+        edges = _heuristic_shaped_edges(n_rows, n_cols, seed)
+        point: dict[str, object] = {"instance": f"{n_rows}x{n_cols}", "seed": seed}
+        reference = None
+        for backend in BACKENDS:
+            result, seconds = _timed_solve(n_rows, n_cols, edges, backend)
+            summary = (len(result), round(sum(e.cost for e in result), 9))
+            point[f"cardinality_{backend}"] = summary[0]
+            point[f"cost_{backend}"] = summary[1]
+            point[f"{backend}_seconds"] = seconds
+            if reference is None:
+                reference = summary
+            else:
+                assert summary == reference, (backend, summary, reference)
+        points.append(point)
+    return points
 
-    def crosscheck():
-        points = []
-        for n_rows, n_cols, seed in CROSSCHECK_GRID:
-            edges = _heuristic_shaped_edges(n_rows, n_cols, seed)
-            a, t_scipy = _timed_solve(n_rows, n_cols, edges, "scipy")
-            b, t_own = _timed_solve(n_rows, n_cols, edges, "own")
-            points.append(
-                {
-                    "instance": f"{n_rows}x{n_cols}",
-                    "seed": seed,
-                    "cardinality_scipy": len(a),
-                    "cardinality_own": len(b),
-                    "cost_scipy": sum(e.cost for e in a),
-                    "cost_own": sum(e.cost for e in b),
-                    "scipy_seconds": t_scipy,
-                    "own_seconds": t_own,
-                }
-            )
-            assert len(a) == len(b)
-            assert abs(points[-1]["cost_scipy"] - points[-1]["cost_own"]) < 1e-6
-        return points
 
-    points = benchmark.pedantic(crosscheck, rounds=1, iterations=1)
+# -- fig3-shape round replay -------------------------------------------------------
+
+#: Figure-3-shaped instances (radius-1 locality => ~10%-dense round graphs).
+#: Labels name the fig3 x-axis point (network size |V|).
+FIG3_SHAPES = [
+    (
+        "V=1000",
+        InstanceSpec(
+            seed=9202, family="waxman", num_nodes=1000, cloudlet_count=100,
+            chain_length=16, radius=1, residual_scale=1.0, max_backups=50,
+        ),
+    ),
+    (
+        "V=1200",
+        InstanceSpec(
+            seed=9203, family="waxman", num_nodes=1200, cloudlet_count=120,
+            chain_length=16, radius=1, residual_scale=1.0, max_backups=60,
+        ),
+    ),
+    (
+        "V=1500",
+        InstanceSpec(
+            seed=9204, family="waxman", num_nodes=1500, cloudlet_count=150,
+            chain_length=16, radius=1, residual_scale=1.0, max_backups=70,
+        ),
+    ),
+]
+
+#: Timed passes per backend per instance in the replay; minimum reported.
+REPLAY_REPS = 5
+
+#: Backends timed in the replay.  ``own`` is exact but O((n+m)^3) dense
+#: Python -- seconds per pass at replay scale -- so the cross-check grid
+#: and the property tests cover it instead.
+REPLAY_BACKENDS = ("scipy", "sparse", "warm")
+
+
+def capture_round_graphs(problem):
+    """The round-graph sequence of one Algorithm 2 solve, as copies.
+
+    Wraps :meth:`RoundState.build_edges` for the duration of a single
+    dense-backend solve (restored in ``finally``), snapshotting each
+    round's ``(rows, cols, edge_rows, edge_cols, edge_costs)`` before the
+    engine consumes it.  ``stop_at_expectation=False`` packs until no edge
+    remains -- the resource-exhaustion regime whose round count Figure 3's
+    scarce-capacity points hit.
+    """
+    captured = []
+    original = RoundState.build_edges
+
+    def recording(self):
+        rows, cols, edge_rows, edge_cols, edge_costs = original(self)
+        captured.append(
+            (list(rows), cols.copy(), edge_rows.copy(), edge_cols.copy(),
+             list(edge_costs))
+        )
+        return rows, cols, edge_rows, edge_cols, edge_costs
+
+    RoundState.build_edges = recording
+    try:
+        MatchingHeuristic(backend="scipy", stop_at_expectation=False).solve(problem)
+    finally:
+        RoundState.build_edges = original
+    return captured
+
+
+def _replay_dense(sequence, backend):
+    """One cache-cold pass: a fresh workspace, every captured round in order."""
+    workspace = MatchingWorkspace()
+    return [
+        min_cost_max_matching_arrays(
+            len(rows), len(cols), edge_rows, edge_cols, edge_costs,
+            backend=backend, workspace=workspace,
+        )
+        for rows, cols, edge_rows, edge_cols, edge_costs in sequence
+    ]
+
+
+def _replay_warm(problem, sequence):
+    """One cache-cold pass: a fresh dual store, duals carried across rounds."""
+    solver = warm_solver_for(problem, problem.ledger())
+    return [
+        solver.solve_round(rows, cols, edge_rows, edge_cols, edge_costs)
+        for rows, cols, edge_rows, edge_cols, edge_costs in sequence
+    ]
+
+
+def _matching_summary(matchings):
+    """Per-round (cardinality, total cost) -- the exactness invariant."""
+    out = []
+    for matching in matchings:
+        cost = sum(e[2] if isinstance(e, tuple) else e.cost for e in matching)
+        out.append((len(matching), round(cost, 9)))
+    return out
+
+
+def run_replay(shapes=FIG3_SHAPES, reps=REPLAY_REPS):
+    """Capture, identity-check, then time each backend over the sequence."""
+    points = []
+    for label, spec in shapes:
+        problem = build_instance(spec)
+        sequence = capture_round_graphs(problem)
+        timed = [g for g in sequence if g[4]]  # a final empty graph times nothing
+        n_rows, n_cols, n_edges = (
+            len(timed[0][0]), len(timed[0][1]), len(timed[0][4])
+        )
+
+        # Identity before timing: every backend, every captured round graph.
+        reference = _matching_summary(_replay_dense(timed, "scipy"))
+        assert _matching_summary(_replay_dense(timed, "sparse")) == reference
+        assert _matching_summary(_replay_warm(problem, timed)) == reference
+
+        seconds: dict[str, float] = {}
+        for backend in REPLAY_BACKENDS:
+            best = float("inf")
+            for _ in range(reps):
+                start = time.perf_counter()
+                if backend == "warm":
+                    _replay_warm(problem, timed)
+                else:
+                    _replay_dense(timed, backend)
+                best = min(best, time.perf_counter() - start)
+            seconds[backend] = best
+
+        points.append(
+            {
+                "instance": label,
+                "seed": spec.seed,
+                "rounds": len(timed),
+                "round0_rows": n_rows,
+                "round0_cols": n_cols,
+                "round0_edges": n_edges,
+                "round0_density": round(n_edges / (n_rows * n_cols), 4),
+                "scipy_seconds": seconds["scipy"],
+                "sparse_seconds": seconds["sparse"],
+                "warm_seconds": seconds["warm"],
+                "sparse_speedup": seconds["scipy"] / seconds["sparse"],
+                "warm_speedup": seconds["scipy"] / seconds["warm"],
+            }
+        )
+    return points
+
+
+def render_replay_table(points):
     rows = [
         [
             p["instance"],
-            p["cardinality_scipy"],
-            p["cardinality_own"],
-            p["cost_scipy"],
-            p["cost_own"],
+            p["rounds"],
+            f"{p['round0_rows']}x{p['round0_cols']}",
+            f"{p['round0_density']:.0%}",
+            f"{p['scipy_seconds'] * 1e3:.2f}",
+            f"{p['sparse_seconds'] * 1e3:.2f}",
+            f"{p['warm_seconds'] * 1e3:.2f}",
+            f"{p['sparse_speedup']:.2f}x",
+            f"{p['warm_speedup']:.2f}x",
         ]
         for p in points
+    ]
+    return format_table(
+        ["instance", "rounds", "round0", "density", "scipy ms", "sparse ms",
+         "warm ms", "sparse", "warm"],
+        rows,
+        title="Fig3-shape round replay: per-backend wall-clock (min of reps)",
+    )
+
+
+def emit_replay(results_dir, points, reps):
+    emit(results_dir, "matching_replay", render_replay_table(points))
+    emit_json(
+        results_dir,
+        "BENCH_matching_backends",
+        config={
+            "workload": (
+                "Algorithm 2 round-graph replay on Figure-3-shaped instances "
+                "(waxman, radius-1 locality, stop_at_expectation=False)"
+            ),
+            "shapes": [
+                {
+                    "instance": label,
+                    "seed": spec.seed,
+                    "num_nodes": spec.num_nodes,
+                    "cloudlet_count": spec.cloudlet_count,
+                    "chain_length": spec.chain_length,
+                    "radius": spec.radius,
+                    "max_backups": spec.max_backups,
+                }
+                for label, spec in FIG3_SHAPES
+            ],
+            "reps_per_backend": reps,
+            "timing": (
+                "min-of-reps over cache-cold passes (fresh workspace / fresh "
+                "dual store per pass) of the raw matchers over the captured "
+                "round sequence; identity (cardinality + total cost per "
+                "round graph) asserted across backends before any timing"
+            ),
+            "excluded": "own (exact but O((n+m)^3) dense Python; cross-check grid covers it)",
+        },
+        points=points,
+        extra={
+            "note": (
+                f"measured on cpu_count={os.cpu_count()}; matchers are "
+                "single-threaded, so speedup is backend-vs-backend on one "
+                "core.  warm < 1x is expected: scipy's C assignment kernel "
+                "beats the Python dual-reusing sweep on wall-clock; the "
+                "warm backend exists for its cross-round dual contract."
+            )
+        },
+    )
+
+
+def bench_matching_report(benchmark, results_dir):
+    """Cross-check table plus the fig3-shape replay record."""
+
+    def run():
+        return run_crosscheck(), run_replay()
+
+    crosscheck, replay = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [p["instance"]]
+        + [p[f"cardinality_{b}"] for b in BACKENDS]
+        + [p[f"cost_{b}"] for b in BACKENDS]
+        for p in crosscheck
     ]
     emit(
         results_dir,
         "matching_backends",
         format_table(
-            ["instance", "card(scipy)", "card(own)", "cost(scipy)", "cost(own)"],
+            ["instance"]
+            + [f"card({b})" for b in BACKENDS]
+            + [f"cost({b})" for b in BACKENDS],
             rows,
             title="Matching backends agree on cardinality and cost",
         ),
     )
     emit_json(
         results_dir,
-        "BENCH_matching_backends",
+        "BENCH_matching_crosscheck",
         config={
             "workload": "heuristic-shaped mincost matching, 30% edge density",
             "grid": [list(point) for point in CROSSCHECK_GRID],
+            "backends": list(BACKENDS),
             "reps_per_backend": TIMING_REPS,
             "timing": "min-of-reps per backend per instance",
         },
-        points=points,
+        points=crosscheck,
     )
+    emit_replay(results_dir, replay, REPLAY_REPS)
+
+    # The sparse CSR path must clearly beat the dense reduction on the
+    # fig3-shape rounds; the per-row floor leaves noise headroom under the
+    # recorded >=1.5x headline.
+    for point in replay:
+        assert point["sparse_speedup"] > 1.3, point
+    assert max(p["sparse_speedup"] for p in replay) >= 1.5, replay
+
+
+def main(argv):
+    unknown = [a for a in argv if a != "--quick"]
+    if unknown:
+        print(f"usage: bench_matching.py [--quick] (got {unknown})")
+        return 2
+    quick = "--quick" in argv
+    run_crosscheck()  # exactness across all four backends (asserted inside)
+    if quick:
+        points = run_replay(shapes=FIG3_SHAPES[:1], reps=2)
+        print(render_replay_table(points))
+        # smoke: identity (asserted in run_replay) plus a sane sparse win
+        # (noise headroom below the recorded >=1.5x)
+        assert all(p["sparse_speedup"] > 1.2 for p in points), points
+    else:
+        points = run_replay()
+        RESULTS_DIR.mkdir(exist_ok=True)
+        emit_replay(RESULTS_DIR, points, REPLAY_REPS)
+        for point in points:
+            assert point["sparse_speedup"] > 1.3, point
+        assert max(p["sparse_speedup"] for p in points) >= 1.5, points
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

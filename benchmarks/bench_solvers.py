@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.experiments.settings import ExperimentSettings
 from repro.experiments.workload import make_trial
 from repro.solvers.ilp import solve_ilp
@@ -78,4 +78,23 @@ def bench_solver_agreement_report(benchmark, results_dir):
             rows,
             title="Exact backends agree (from-scratch B&B vs HiGHS)",
         ),
+    )
+    emit_json(
+        results_dir,
+        "BENCH_solver_backends",
+        config={
+            "workload": "exact augmentation models, HiGHS vs from-scratch B&B",
+            "grid": [[20, 3, 1], [30, 4, 2], [40, 5, 3]],
+            "agreement_tolerance": 2e-6,
+        },
+        points=[
+            {
+                "instance": instance,
+                "vars": num_vars,
+                "gain_highs": gain_highs,
+                "gain_bnb": gain_bnb,
+                "bnb_nodes": nodes,
+            }
+            for instance, num_vars, gain_highs, gain_bnb, nodes in rows
+        ],
     )

@@ -55,11 +55,14 @@ from repro.core.problem import AugmentationProblem
 from repro.core.solution import AugmentationResult, AugmentationSolution, Placement
 from repro.kernels import kernels_enabled
 from repro.kernels.arena import thread_arena
-from repro.matching.incremental import RoundState
+from repro.matching.incremental import RoundState, warm_solver_for
 from repro.matching.mincost import (
+    MatchEdge,
     MatchingWorkspace,
+    default_backend,
     min_cost_max_matching,
     min_cost_max_matching_arrays,
+    resolve_backend,
 )
 from repro.util.errors import ValidationError
 from repro.util.rng import RandomState
@@ -72,8 +75,15 @@ class MatchingHeuristic(AugmentationAlgorithm):
     Parameters
     ----------
     backend:
-        Matching backend: ``"scipy"`` (default) or ``"own"`` (the
-        from-scratch Hungarian).
+        Matching backend: a :data:`repro.matching.mincost.BACKENDS` name
+        (``"scipy"``, ``"own"``, ``"sparse"``, ``"warm"``), ``"dense"``
+        (alias for ``"scipy"``), or ``"auto"`` (dense below the sparse
+        cutoff, sparse above -- per round).  ``None`` (default) defers to
+        the ``REPRO_MATCHING`` environment variable at *solve* time
+        (``"auto"`` when unset), so sweeps, the resilience stream, and the
+        fallback chain all inherit one switch.  ``"warm"`` runs the
+        dual-reusing round solver of :mod:`repro.matching.warmstart`,
+        carrying dual potentials across rounds within each solve.
     stop_at_expectation:
         Stop matching rounds once ``rho_j`` is reached and trim any
         overshoot from the final round (default True).  When False the
@@ -107,7 +117,7 @@ class MatchingHeuristic(AugmentationAlgorithm):
 
     def __init__(
         self,
-        backend: str = "scipy",
+        backend: str | None = None,
         stop_at_expectation: bool = True,
         max_rounds: int = 10_000,
         incremental: bool = True,
@@ -117,6 +127,8 @@ class MatchingHeuristic(AugmentationAlgorithm):
     ):
         if rebuild_every < 0:
             raise ValidationError(f"rebuild_every must be >= 0, got {rebuild_every}")
+        if backend is not None:
+            resolve_backend(backend)  # fail fast on unknown spellings
         self.backend = backend
         self.stop_at_expectation = stop_at_expectation
         self.max_rounds = max_rounds
@@ -141,11 +153,19 @@ class MatchingHeuristic(AugmentationAlgorithm):
                 meta={"no_items": True},
             )
 
+        backend = (
+            resolve_backend(self.backend) if self.backend is not None
+            else default_backend()
+        )
         with Stopwatch() as sw:
             if self.incremental:
-                placements, rounds, trace = self._run_rounds_incremental(problem)
+                placements, rounds, trace = self._run_rounds_incremental(
+                    problem, backend
+                )
             else:
-                placements, rounds, trace = self._run_rounds_rebuild(problem)
+                placements, rounds, trace = self._run_rounds_rebuild(
+                    problem, backend
+                )
             # Re-key to canonical per-position prefixes: an early stop inside
             # a round can otherwise leave e.g. k=2 committed without k=1.
             assignments = repair_prefix(
@@ -157,6 +177,7 @@ class MatchingHeuristic(AugmentationAlgorithm):
             "rounds": rounds,
             "paper_cost_total": solution.total_cost,
             "engine": "incremental" if self.incremental else "rebuild",
+            "matching_backend": backend,  # "auto" concretises per round
         }
         if self.record_trace:
             meta["round_trace"] = trace
@@ -183,7 +204,7 @@ class MatchingHeuristic(AugmentationAlgorithm):
         }
 
     def _run_rounds_incremental(
-        self, problem: AugmentationProblem
+        self, problem: AugmentationProblem, backend: str
     ) -> tuple[list[Placement], int, list[dict[str, object]]]:
         """The incremental engine: delta-maintained ``G_l`` + buffer reuse."""
         ledger = problem.ledger()
@@ -193,6 +214,10 @@ class MatchingHeuristic(AugmentationAlgorithm):
             problem, ledger, rebuild_every=self.rebuild_every, arena=arena
         )
         workspace = arena.workspace if arena is not None else MatchingWorkspace()
+        # The warm solver must outlive the round loop (its duals carry
+        # between rounds), so it cannot live behind the stateless
+        # min_cost_max_matching_arrays interface.
+        warm = warm_solver_for(problem, ledger, arena=arena) if backend == "warm" else None
         items = problem.items
         placements: list[Placement] = []
         counts = [0] * problem.request.chain.length
@@ -215,10 +240,18 @@ class MatchingHeuristic(AugmentationAlgorithm):
             if not edge_costs:
                 break
 
-            matching = min_cost_max_matching_arrays(
-                len(rows), len(cols), edge_rows, edge_cols, edge_costs,
-                backend=self.backend, workspace=workspace,
-            )
+            if warm is not None:
+                matching = [
+                    MatchEdge(r, c, cost)
+                    for r, c, cost in warm.solve_round(
+                        rows, cols, edge_rows, edge_cols, edge_costs
+                    )
+                ]
+            else:
+                matching = min_cost_max_matching_arrays(
+                    len(rows), len(cols), edge_rows, edge_cols, edge_costs,
+                    backend=backend, workspace=workspace,
+                )
             if not matching:  # pragma: no cover - edges imply a non-empty matching
                 break
             rounds += 1
@@ -251,11 +284,15 @@ class MatchingHeuristic(AugmentationAlgorithm):
         return placements, rounds, trace
 
     def _run_rounds_rebuild(
-        self, problem: AugmentationProblem
+        self, problem: AugmentationProblem, backend: str
     ) -> tuple[list[Placement], int, list[dict[str, object]]]:
         """The original full-rebuild path (the differential reference)."""
         ledger = problem.ledger()
         remaining: list[BackupItem] = list(problem.items)
+        # Original item indices alongside `remaining`: the warm solver keys
+        # its column duals by them (so both engines address one dual store).
+        remaining_idx: list[int] = list(range(len(remaining)))
+        warm = warm_solver_for(problem, ledger) if backend == "warm" else None
         placements: list[Placement] = []
         counts = [0] * problem.request.chain.length
         rounds = 0
@@ -279,9 +316,24 @@ class MatchingHeuristic(AugmentationAlgorithm):
             if not edges:
                 break
 
-            matching = min_cost_max_matching(
-                len(cloudlets), len(remaining), edges, backend=self.backend
-            )
+            if warm is not None:
+                # Same round graph, arrays instead of the dict (dict
+                # insertion order is already item-major/bin order), columns
+                # keyed globally through remaining_idx.
+                matching = [
+                    MatchEdge(r, c, cost)
+                    for r, c, cost in warm.solve_round(
+                        cloudlets,
+                        remaining_idx,
+                        [k[0] for k in edges],
+                        [k[1] for k in edges],
+                        list(edges.values()),
+                    )
+                ]
+            else:
+                matching = min_cost_max_matching(
+                    len(cloudlets), len(remaining), edges, backend=backend
+                )
             if not matching:  # pragma: no cover - edges imply a non-empty matching
                 break
             rounds += 1
@@ -304,6 +356,9 @@ class MatchingHeuristic(AugmentationAlgorithm):
                     break
             remaining = [
                 it for c, it in enumerate(remaining) if c not in matched_cols
+            ]
+            remaining_idx = [
+                i for c, i in enumerate(remaining_idx) if c not in matched_cols
             ]
             if self.record_trace:
                 trace.append(self._trace_entry(problem, round_placements, counts))

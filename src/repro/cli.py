@@ -19,6 +19,7 @@ emitted numbers are bit-identical for every ``N``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -45,6 +46,7 @@ from repro.experiments.reporting import render_figure
 from repro.experiments.resilience import FAULT_SCENARIOS, run_fault_scenario
 from repro.experiments.serialization import write_series_csv
 from repro.experiments.settings import DEFAULT_SETTINGS
+from repro.matching.mincost import BACKENDS, MATCHING_ENV
 from repro.util.tables import format_table
 
 ALGORITHMS = {
@@ -68,6 +70,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--chart", action="store_true", help="also render ASCII line charts"
     )
     parser.add_argument("--csv", metavar="PATH", help="write the series as tidy CSV")
+    parser.add_argument(
+        "--matching-backend",
+        choices=("auto", "dense") + BACKENDS,
+        default=None,
+        metavar="BACKEND",
+        help=(
+            "matching backend for every heuristic solve in the run "
+            f"(one of auto/dense/{'/'.join(BACKENDS)}; sets {MATCHING_ENV}, "
+            f"so worker processes inherit it; default: the {MATCHING_ENV} "
+            "environment, else auto).  All backends produce identical "
+            "results -- this is a performance knob"
+        ),
+    )
 
 
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
@@ -163,6 +178,12 @@ def _emit_series(series: FigureSeries, args: argparse.Namespace) -> None:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if getattr(args, "matching_backend", None):
+        # Through the environment rather than algorithm construction so the
+        # sweep workers, the resilience stream's internal solves, and the
+        # fallback chain's members all inherit the same switch.
+        os.environ[MATCHING_ENV] = args.matching_backend
 
     if args.command == "fig1":
         series = run_figure1(

@@ -13,6 +13,17 @@ round engine leases views of instead.  Leased buffers are always fully
 state between solves -- the differential suite asserts arena-on and
 arena-off solves are bit-identical.
 
+The warm-started matching backend
+(:class:`~repro.matching.warmstart.DualReusingSolver`) leases its state
+from the same pool under the ``warm_*`` names: ``warm_u`` / ``warm_v`` /
+``warm_vd`` hold the persistent LAP duals (sized by the global node/item
+spaces, so they survive every round of a solve), while ``warm_dist`` /
+``warm_pred`` / ``warm_scanned`` are the per-augmentation Dijkstra
+scratch.  The dual buffers look like an exception to the "fully
+re-initialised before use" rule, but are not: the solver zeroes them at
+construction and thereafter they are solver *state*, reused only within
+the one solve that owns the lease.
+
 Locality contract (see ``docs/performance.md``)
 -----------------------------------------------
 An arena is **thread-local and process-local**, never shared and never

@@ -10,30 +10,58 @@ provides:
 * :func:`~repro.matching.mincost.min_cost_max_matching` -- the wrapper that
   reduces min-cost *maximum* matching with forbidden edges to a padded
   square assignment problem, solvable by either the from-scratch solver or
-  :func:`scipy.optimize.linear_sum_assignment` (used as the default backend
-  for speed; the two are cross-validated in the test suite);
+  :func:`scipy.optimize.linear_sum_assignment` (the differential reference
+  backends, cross-validated in the test suite);
 * :func:`~repro.matching.mincost.min_cost_max_matching_arrays` -- the
   array-based entry point used by the incremental engine, with a reusable
   :class:`~repro.matching.mincost.MatchingWorkspace` matrix buffer;
+* :func:`~repro.matching.sparse.sparse_min_cost_max_matching` -- the CSR
+  backend (``"sparse"``): the real edge set plus dummy columns handed to
+  ``scipy.sparse.csgraph``, skipping the dense ``(n+m)^2`` padding;
+* :class:`~repro.matching.warmstart.DualReusingSolver` -- the ``"warm"``
+  backend: a sparse JV solver whose dual potentials persist across
+  Algorithm 2's rounds (factory:
+  :func:`~repro.matching.incremental.warm_solver_for`);
 * :class:`~repro.matching.incremental.RoundState` -- the incremental round
   engine for Algorithm 2's hot path: static edge universe, delta-maintained
   residuals, bit-identical to rebuilding ``G_l`` from scratch every round.
+
+Backend selection (``"auto"``, the ``REPRO_MATCHING`` env switch, and the
+dense/sparse cutoff) lives in :mod:`repro.matching.mincost`.
 """
 
 from repro.matching.hungarian import solve_assignment
-from repro.matching.incremental import RoundState
+from repro.matching.incremental import RoundState, warm_solver_for
 from repro.matching.mincost import (
+    BACKENDS,
+    MATCHING_ENV,
+    SPARSE_CUTOFF,
     MatchEdge,
     MatchingWorkspace,
+    default_backend,
     min_cost_max_matching,
     min_cost_max_matching_arrays,
+    resolve_backend,
+    select_backend,
 )
+from repro.matching.sparse import sparse_min_cost_max_matching
+from repro.matching.warmstart import DualReusingSolver, warm_min_cost_max_matching
 
 __all__ = [
+    "BACKENDS",
+    "MATCHING_ENV",
+    "SPARSE_CUTOFF",
+    "DualReusingSolver",
     "MatchEdge",
     "MatchingWorkspace",
     "RoundState",
+    "default_backend",
     "min_cost_max_matching",
     "min_cost_max_matching_arrays",
+    "resolve_backend",
+    "select_backend",
     "solve_assignment",
+    "sparse_min_cost_max_matching",
+    "warm_min_cost_max_matching",
+    "warm_solver_for",
 ]

@@ -62,6 +62,7 @@ import numpy as np
 from repro.core.items import reliability_ladder
 from repro.core.problem import AugmentationProblem
 from repro.kernels.items import plan_of
+from repro.matching.warmstart import DualReusingSolver
 from repro.netmodel.capacity import EPS, CapacityLedger
 from repro.util.errors import ValidationError
 
@@ -79,7 +80,7 @@ class _ProblemStatics:
     """
 
     __slots__ = ("edge_item", "edge_node", "edge_cost", "edge_demand",
-                 "max_node", "rel_ladders")
+                 "max_node", "cost_sum", "rel_ladders")
 
     def __init__(self, problem: AugmentationProblem) -> None:
         plan = plan_of(problem)
@@ -117,6 +118,10 @@ class _ProblemStatics:
             self.edge_cost = np.asarray(edge_cost, dtype=np.float64)
             self.edge_demand = np.asarray(edge_demand, dtype=np.float64)
             self.max_node = max(edge_node, default=-1)
+        # One float for the whole solve: the warm-started solver derives its
+        # constant dummy cost B from it, so it must come from the shared
+        # statics array (same array -> same np.sum) for engine invariance.
+        self.cost_sum = float(np.sum(self.edge_cost))
         per_position = [0] * problem.request.chain.length
         for item in problem.items:
             if item.k > per_position[item.position]:
@@ -137,6 +142,31 @@ def _statics(problem: AugmentationProblem) -> _ProblemStatics:
     if statics is None:
         statics = _STATICS[problem] = _ProblemStatics(problem)
     return statics
+
+
+def warm_solver_for(
+    problem: AugmentationProblem,
+    ledger: CapacityLedger,
+    arena: "MatrixArena | None" = None,
+) -> DualReusingSolver:
+    """A :class:`DualReusingSolver` sized for one solve's global id spaces.
+
+    Both round engines construct their solver through this factory so the
+    dual vectors (keyed by global cloudlet id / item index) and the constant
+    dummy cost ``B`` (from the shared statics' universe cost sum) are
+    identical -- a precondition for the engines' bit-identical solves under
+    the ``"warm"`` backend.
+    """
+    statics = _statics(problem)
+    nodes = ledger.nodes
+    for v in nodes:
+        if v < 0:
+            raise ValidationError(
+                f"negative cloudlet id {v} unsupported by the warm-started solver"
+            )
+    node_space = max(max(nodes, default=-1), statics.max_node) + 1
+    n_items = len(problem.items)
+    return DualReusingSolver(node_space, n_items, statics.cost_sum, arena=arena)
 
 
 class RoundState:

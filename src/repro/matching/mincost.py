@@ -19,14 +19,33 @@ objective ``sum(chosen costs) + (n + m - 2k) * B``; minimising it therefore
 maximises ``k`` first and minimises cost second -- exactly min-cost maximum
 matching.  Assignments that land in a ``B`` cell are decoded as "unmatched".
 
-Backends: ``"scipy"`` (default; :func:`scipy.optimize.linear_sum_assignment`)
-and ``"own"`` (:func:`repro.matching.hungarian.solve_assignment`).  Tests
-assert both return identical cardinality and cost on random graphs.
+Backends (``BACKENDS``):
+
+* ``"scipy"`` -- the dense padded reduction above, solved by
+  :func:`scipy.optimize.linear_sum_assignment` (the differential baseline);
+* ``"own"`` -- the same reduction solved by the from-scratch JV solver of
+  :mod:`repro.matching.hungarian`;
+* ``"sparse"`` -- :mod:`repro.matching.sparse`: CSR + dummy columns on the
+  real edge set only, via ``scipy.sparse.csgraph``;
+* ``"warm"`` -- :mod:`repro.matching.warmstart`: a sparse JV solver whose
+  dual potentials persist across Algorithm 2's rounds (cold-started here).
+
+``"auto"`` (and the unset default) picks dense below
+``SPARSE_CUTOFF = 256`` total nodes per round and sparse above it -- the
+measured crossover on heuristic-shaped graphs (mirroring the dual-strategy
+pattern of :mod:`repro.kernels.items`).  The ``REPRO_MATCHING`` environment
+variable (``MATCHING_ENV``) overrides the default for every solve that does
+not pass an explicit backend: ``dense`` (alias for ``scipy``), ``own``,
+``sparse``, ``warm``, or ``auto`` -- the kill switch back to the verbatim
+dense reference paths.  All backends return identical matching cardinality
+and total cost (tests assert it); pairings may permute within equal-cost
+matchings.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -34,9 +53,53 @@ import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 from repro.matching.hungarian import solve_assignment
+from repro.matching.sparse import sparse_min_cost_max_matching
+from repro.matching.warmstart import warm_min_cost_max_matching
 from repro.util.errors import ValidationError
 
-BACKENDS = ("scipy", "own")
+BACKENDS = ("scipy", "own", "sparse", "warm")
+
+#: Environment variable overriding the default backend ("auto" when unset).
+MATCHING_ENV = "REPRO_MATCHING"
+
+#: Spellings accepted by :func:`resolve_backend` beyond ``BACKENDS`` + "auto".
+_BACKEND_ALIASES = {"dense": "scipy"}
+
+#: "auto" goes sparse when a round has at least this many total nodes
+#: (rows + cols): the measured dense/sparse crossover on heuristic-shaped
+#: graphs sits near 2.7x at 350 nodes and below 1x at 160, and the paper's
+#: canonical instances stay under it -- so the default is bit-identical to
+#: the historical dense path there.
+SPARSE_CUTOFF = 256
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Normalise a backend spelling to ``BACKENDS`` + ``"auto"``.
+
+    ``None`` / ``""`` mean "no opinion" and resolve to ``"auto"``; the
+    ``"dense"`` alias resolves to ``"scipy"``.  Unknown names raise
+    :class:`ValidationError`.
+    """
+    if not backend:
+        return "auto"
+    backend = _BACKEND_ALIASES.get(backend, backend)
+    if backend != "auto" and backend not in BACKENDS:
+        raise ValidationError(
+            f"unknown backend {backend!r}; choose from {BACKENDS + ('auto', 'dense')}"
+        )
+    return backend
+
+
+def default_backend() -> str:
+    """The session default: ``REPRO_MATCHING`` when set, else ``"auto"``."""
+    return resolve_backend(os.environ.get(MATCHING_ENV))
+
+
+def select_backend(backend: str, n_rows: int, n_cols: int) -> str:
+    """Concretise ``"auto"`` for one graph's dimensions."""
+    if backend != "auto":
+        return backend
+    return "sparse" if n_rows + n_cols >= SPARSE_CUTOFF else "scipy"
 
 
 @dataclass(frozen=True)
@@ -48,20 +111,44 @@ class MatchEdge:
     cost: float
 
 
+def _validate_big(big: float, finite_sum: float) -> None:
+    """The padding only encodes cardinality-dominance while ``B`` strictly
+    exceeds the real cost sum *as a float*: an overflowed or
+    precision-saturated ``B`` (``finite_sum + 1.0 == finite_sum`` once the
+    sum passes 2**53) would let a high-cardinality matching lose to a
+    cheaper low-cardinality one, silently."""
+    if not math.isfinite(big) or big <= finite_sum:
+        raise ValidationError(
+            "edge cost magnitudes too large for big-M padding "
+            f"(|cost| sum {finite_sum!r} cannot be strictly dominated)"
+        )
+
+
 def _padded_matrix(
     n_rows: int, n_cols: int, edges: Mapping[tuple[int, int], float]
 ) -> tuple[np.ndarray, float]:
     """Build the padded square matrix and return it with the ``B`` used."""
-    finite_sum = sum(abs(c) for c in edges.values())
-    big = finite_sum + 1.0
-    size = n_rows + n_cols
-    matrix = np.full((size, size), big)
-    matrix[n_rows:, n_cols:] = 0.0
+    if n_rows == 0 or n_cols == 0 or not edges:
+        # Zero-edge / one-side-empty: no real cell can host a match, so the
+        # pad is pure dummy structure (entry points return [] before ever
+        # solving it, but the matrix itself stays well-defined).
+        size = n_rows + n_cols
+        matrix = np.full((size, size), 1.0)
+        matrix[n_rows:, n_cols:] = 0.0
+        return matrix, 1.0
+    finite_sum = 0.0  # ordered accumulation, identical to sum(abs(c) for ...)
     for (r, c), cost in edges.items():
         if not (0 <= r < n_rows and 0 <= c < n_cols):
             raise ValidationError(f"edge ({r}, {c}) outside a {n_rows}x{n_cols} graph")
         if not math.isfinite(cost):
             raise ValidationError(f"edge ({r}, {c}) has non-finite cost {cost}")
+        finite_sum += abs(cost)
+    big = finite_sum + 1.0
+    _validate_big(big, finite_sum)
+    size = n_rows + n_cols
+    matrix = np.full((size, size), big)
+    matrix[n_rows:, n_cols:] = 0.0
+    for (r, c), cost in edges.items():
         matrix[r, c] = cost
     return matrix, big
 
@@ -82,7 +169,9 @@ def min_cost_max_matching(
         ``(row, col) -> cost`` for existing edges; absent pairs are
         forbidden.  Costs may be negative.
     backend:
-        ``"scipy"`` (default) or ``"own"`` (the from-scratch Hungarian).
+        A ``BACKENDS`` name, ``"dense"`` (alias for ``"scipy"``), or
+        ``"auto"`` (dense below :data:`SPARSE_CUTOFF` total nodes, sparse
+        above).  Default ``"scipy"``.
 
     Returns
     -------
@@ -92,10 +181,32 @@ def min_cost_max_matching(
     """
     if n_rows < 0 or n_cols < 0:
         raise ValidationError(f"negative dimensions: {n_rows}x{n_cols}")
-    if backend not in BACKENDS:
-        raise ValidationError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    backend = resolve_backend(backend)
     if n_rows == 0 or n_cols == 0 or not edges:
         return []
+    backend = select_backend(backend, n_rows, n_cols)
+
+    if backend in ("sparse", "warm"):
+        rows_a = np.empty(len(edges), dtype=np.intp)
+        cols_a = np.empty(len(edges), dtype=np.intp)
+        costs_a = np.empty(len(edges), dtype=np.float64)
+        for i, ((r, c), cost) in enumerate(edges.items()):
+            if not (0 <= r < n_rows and 0 <= c < n_cols):
+                raise ValidationError(
+                    f"edge ({r}, {c}) outside a {n_rows}x{n_cols} graph"
+                )
+            if not math.isfinite(cost):
+                raise ValidationError(f"edge ({r}, {c}) has non-finite cost {cost}")
+            rows_a[i], cols_a[i], costs_a[i] = r, c, cost
+        solve = (
+            sparse_min_cost_max_matching
+            if backend == "sparse"
+            else warm_min_cost_max_matching
+        )
+        return [
+            MatchEdge(r, c, cost)
+            for r, c, cost in solve(n_rows, n_cols, rows_a, cols_a, costs_a)
+        ]
 
     matrix, big = _padded_matrix(n_rows, n_cols, edges)
     if backend == "scipy":
@@ -172,19 +283,36 @@ def min_cost_max_matching_arrays(
     ordered float sum, the padded matrix is element-wise identical, and the
     decode accepts exactly the real-edge cells (a real cell holds ``B`` iff
     it is not an edge, since every edge cost is strictly below ``B``).
+
+    The ``"sparse"``/``"warm"`` backends (and ``"auto"`` above the cutoff)
+    skip the padded matrix entirely and hand these arrays straight to the
+    CSR solvers; ``workspace`` is ignored there.
     """
-    if backend not in BACKENDS:
-        raise ValidationError(f"unknown backend {backend!r}; choose from {BACKENDS}")
-    if n_rows == 0 or n_cols == 0 or not edge_costs:
+    backend = resolve_backend(backend)
+    if n_rows == 0 or n_cols == 0 or len(edge_costs) == 0:
         return []
+    backend = select_backend(backend, n_rows, n_cols)
+
+    if backend in ("sparse", "warm"):
+        solve = (
+            sparse_min_cost_max_matching
+            if backend == "sparse"
+            else warm_min_cost_max_matching
+        )
+        return [
+            MatchEdge(r, c, cost)
+            for r, c, cost in solve(n_rows, n_cols, edge_rows, edge_cols, edge_costs)
+        ]
 
     # abs() is the identity on the non-negative costs Algorithm 2 produces,
     # so the plain ordered sum is bit-identical to sum(abs(c) for c in ...)
     # there; the abs pass only runs when a negative cost appears.
     if min(edge_costs) >= 0.0:
-        big = sum(edge_costs) + 1.0
+        abs_sum = sum(edge_costs)
     else:
-        big = sum(abs(c) for c in edge_costs) + 1.0
+        abs_sum = sum(abs(c) for c in edge_costs)
+    big = abs_sum + 1.0
+    _validate_big(big, abs_sum)
     size = n_rows + n_cols
     matrix = workspace.matrix(size) if workspace is not None else np.empty((size, size))
     matrix.fill(big)

@@ -1,0 +1,119 @@
+"""CSR sparse backend for min-cost maximum matching.
+
+The dense reduction of :mod:`repro.matching.mincost` pads the ``n x m``
+bipartite structure to an ``(n + m) x (n + m)`` square matrix even though
+Algorithm 2's round graphs are sparse: an item only connects to the
+cloudlets of ``N_l^+(v_i)`` (Lemma 4.2 prefixes), so the real edge count is
+a small fraction of ``n * m`` and a vanishing fraction of ``(n + m)^2``.
+This backend hands :func:`scipy.sparse.csgraph.min_weight_full_bipartite_matching`
+the real edge set only, in CSR form, and encodes max-cardinality on the
+sparse structure instead of via dense big-M blocks:
+
+* **dummy-column trick** -- every left node ``r`` gets one private dummy
+  column with cost ``B`` larger than the sum of all real edge costs.  The
+  extended graph always admits a row-perfect matching (component-wise
+  feasibility is automatic: a row whose component has no free real column
+  takes its dummy), and since ``B`` dominates any achievable real-cost
+  difference, minimising the extended objective maximises real cardinality
+  first and real cost second -- the same objective ordering as the dense
+  padding, on ``E + n`` stored entries instead of ``(n + m)^2``.
+* **positivity shift** -- ``min_weight_full_bipartite_matching`` drops
+  explicitly stored zeros from the CSR structure (a zero-cost edge would
+  silently become a forbidden pair), so all costs are shifted by a constant
+  that makes them ``>= 1``.  A uniform shift adds ``k * shift`` to every
+  cardinality-``k`` matching, so the set of min-cost maximum matchings is
+  unchanged; decoded edges report the *original* cost floats, looked up by
+  edge identity (never ``(cost + shift) - shift``, which need not round
+  back bit-exactly).
+
+Exactness contract: identical matching **cardinality and total cost** to
+the dense backends on every input (optimal is optimal); the particular
+pairing may permute within equal-cost matchings, as scipy's internal tie
+handling differs from the dense solver's.  ``tests/test_matching_sparse.py``
+asserts the cardinality/cost agreement across all backends, and the
+differential suite pins each backend's full-solve determinism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import min_weight_full_bipartite_matching
+
+from repro.util.errors import ValidationError
+
+
+def sparse_min_cost_max_matching(
+    n_rows: int,
+    n_cols: int,
+    edge_rows: np.ndarray,
+    edge_cols: np.ndarray,
+    edge_costs: np.ndarray,
+) -> list[tuple[int, int, float]]:
+    """Min-cost maximum matching on the real (sparse) edge set.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Sizes of the two node sets.
+    edge_rows, edge_cols, edge_costs:
+        Parallel arrays of existing edges (pre-validated by the caller:
+        indices in range, costs finite, ``(row, col)`` pairs unique).
+
+    Returns
+    -------
+    list[tuple[int, int, float]]
+        Matched ``(row, col, cost)`` triples sorted by row; maximum
+        cardinality, minimum total cost among maximum matchings.
+    """
+    if n_rows == 0 or n_cols == 0:
+        return []
+    costs = np.asarray(edge_costs, dtype=np.float64)
+    if costs.size == 0:
+        return []
+    rows = np.asarray(edge_rows, dtype=np.intp)
+    cols = np.asarray(edge_cols, dtype=np.intp)
+
+    # Shift so every stored weight is >= 1 (explicit zeros are dropped by
+    # the scipy matcher) and derive the dominating dummy cost from the
+    # shifted range.
+    low = float(costs.min())
+    shift = 1.0 - low if low < 1.0 else 0.0
+    shifted = costs + shift if shift else costs
+    shifted_sum = float(shifted.sum())
+    big = shifted_sum + 1.0
+    if not np.isfinite(big) or big <= shifted_sum:
+        raise ValidationError(
+            "edge cost magnitudes too large for a dominating dummy cost "
+            f"(shifted sum {shifted_sum!r})"
+        )
+
+    data = np.concatenate([shifted, np.full(n_rows, big)])
+    coo_rows = np.concatenate([rows, np.arange(n_rows, dtype=np.intp)])
+    coo_cols = np.concatenate([cols, n_cols + np.arange(n_rows, dtype=np.intp)])
+    biadjacency = csr_matrix(
+        (data, (coo_rows, coo_cols)), shape=(n_rows, n_cols + n_rows)
+    )
+    matched_rows, matched_cols = min_weight_full_bipartite_matching(biadjacency)
+
+    # Decode: rows assigned to their dummy column are unmatched; real
+    # pairs get their original cost float back by (row, col) identity.
+    real = matched_cols < n_cols
+    out_rows = np.asarray(matched_rows[real], dtype=np.intp)
+    out_cols = np.asarray(matched_cols[real], dtype=np.intp)
+    if out_rows.size == 0:  # pragma: no cover - edges imply a non-empty matching
+        return []
+    keys = rows * n_cols + cols
+    key_order = np.argsort(keys, kind="stable")
+    positions = key_order[
+        np.searchsorted(keys[key_order], out_rows * n_cols + out_cols)
+    ]
+    out_costs = costs[positions]
+    order = np.argsort(out_rows, kind="stable")
+    return [
+        (int(r), int(c), float(w))
+        for r, c, w in zip(out_rows[order], out_cols[order], out_costs[order])
+    ]
+
+
+__all__ = ["sparse_min_cost_max_matching"]

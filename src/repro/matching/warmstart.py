@@ -1,0 +1,325 @@
+"""Dual-reusing sparse assignment solver for Algorithm 2's round sequence.
+
+Consecutive rounds of the matching heuristic solve *almost the same*
+min-cost maximum matching: round ``l + 1`` differs from round ``l`` only by
+the deltas :class:`repro.matching.incremental.RoundState` already tracks --
+matched items leave the right side, and cloudlets whose residual crossed a
+``c(f_i)`` threshold lose their edges.  A from-scratch solve forgets
+everything it learned about the cost geometry; this module keeps it.
+
+:class:`DualReusingSolver` is a successive-shortest-augmenting-path solver
+(Jonker-Volgenant style, like :mod:`repro.matching.hungarian` -- but on the
+CSR edge set instead of a padded dense matrix) whose dual potentials
+*persist across rounds*:
+
+* ``u`` is keyed by **global cloudlet id** and ``v`` by **global item
+  index**, so the round-local row/column compaction of
+  :meth:`RoundState.build_edges` can shrink freely between rounds;
+* max cardinality is encoded sparsely: each row owns one implicit dummy
+  column of cost ``B`` (its potential also persists), where ``B`` is
+  derived once from the *whole edge universe* so it stays constant -- and
+  dominating -- for every round of the solve;
+* because Algorithm 2 only ever *removes* edges within a solve (residuals
+  decrease monotonically, matched items leave), dual feasibility
+  ``c_ij - u_i - v_j >= 0`` for round ``l``'s edges implies feasibility for
+  round ``l + 1``'s subset.  Round ``l``'s duals are therefore a valid --
+  and usually nearly tight -- starting point, and the Dijkstra sweeps of
+  round ``l + 1`` terminate after a few pops instead of re-deriving the
+  whole potential landscape from zero.
+
+Scratch vectors (``dist``/``pred``/``scanned`` and the persistent dual
+arrays) are leased from the per-thread
+:class:`repro.kernels.arena.MatrixArena` when one is supplied, so a request
+stream re-solves thousands of rounds without re-allocating; every leased
+element is (re)initialised before use, so arena solves are bit-identical to
+``arena=None`` solves.
+
+Exactness contract: every round returns a maximum-cardinality matching of
+minimum total cost (warm duals change the *path* to the optimum, never the
+optimum itself -- they are a feasible starting potential, exactly as the
+zero vector is).  The returned pairing is a deterministic function of the
+round-graph sequence: fixed row insertion order, first-index ``argmin``
+tie-breaks, real columns scanned before dummy columns.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernels.arena import MatrixArena
+
+
+class DualReusingSolver:
+    """Warm-started min-cost maximum matching over a shrinking round sequence.
+
+    Parameters
+    ----------
+    node_space:
+        Exclusive upper bound on global cloudlet ids (row dual vector size).
+    item_space:
+        Number of items in the problem (column dual vector size).
+    universe_cost_sum:
+        Sum of every edge cost in the *static edge universe* of the solve.
+        The dummy-column cost ``B = universe_cost_sum + 1`` must dominate
+        the real cost of any round's matching and must not change between
+        rounds (a shrinking ``B`` could break dual feasibility on the
+        dummy edges), so it is derived from the universe, not per round.
+    arena:
+        Optional :class:`repro.kernels.arena.MatrixArena` to lease the dual
+        and scratch vectors from (must be this thread's arena -- see the
+        locality contract in ``docs/performance.md``).
+
+    Notes
+    -----
+    The duals start at zero, and that is load-bearing: this is the
+    *unbalanced* assignment LP (columns may stay unmatched), whose dual
+    constrains free-column potentials to ``v_j <= 0``.  The classic JV
+    column reduction ``v_j = min_i c_ij`` violates that sign constraint
+    for any positive cost and silently trades cost optimality away (the
+    cardinality stays maximum, but the solver may augment to an arbitrary
+    reachable column instead of the cheapest).  Zero-started potentials
+    only ever *decrease* on columns (and popped columns are matched
+    columns), so ``v_j <= 0`` with equality on free columns holds for the
+    whole round sequence -- complementary slackness, hence exactness.
+    """
+
+    __slots__ = ("_big", "_u", "_v", "_vd", "_dist", "_pred", "_scanned")
+
+    def __init__(
+        self,
+        node_space: int,
+        item_space: int,
+        universe_cost_sum: float,
+        arena: "MatrixArena | None" = None,
+    ) -> None:
+        if node_space < 0 or item_space < 0:
+            raise ValidationError(
+                f"negative dual space: {node_space} nodes, {item_space} items"
+            )
+        big = float(universe_cost_sum) + 1.0
+        if not np.isfinite(big) or big <= universe_cost_sum:
+            raise ValidationError(
+                "universe cost sum too large for a dominating dummy cost "
+                f"(sum={universe_cost_sum!r})"
+            )
+        self._big = big
+        width = item_space + node_space  # real columns then one dummy per row id
+        if arena is not None:
+            self._u = arena.take("warm_u", node_space, np.float64)
+            self._v = arena.take("warm_v", item_space, np.float64)
+            self._vd = arena.take("warm_vd", node_space, np.float64)
+            self._dist = arena.take("warm_dist", width, np.float64)
+            self._pred = arena.take("warm_pred", width, np.intp)
+            self._scanned = arena.take("warm_scanned", width, bool)
+        else:
+            self._u = np.empty(node_space, dtype=np.float64)
+            self._v = np.empty(item_space, dtype=np.float64)
+            self._vd = np.empty(node_space, dtype=np.float64)
+            self._dist = np.empty(width, dtype=np.float64)
+            self._pred = np.empty(width, dtype=np.intp)
+            self._scanned = np.empty(width, dtype=bool)
+        self._u[:] = 0.0
+        self._v[:] = 0.0
+        self._vd[:] = 0.0
+
+    def solve_round(
+        self,
+        rows: Sequence[int],
+        cols: np.ndarray,
+        edge_rows: np.ndarray,
+        edge_cols: np.ndarray,
+        edge_costs: Sequence[float],
+    ) -> list[tuple[int, int, float]]:
+        """Solve one round's matching, reusing the previous round's duals.
+
+        Parameters
+        ----------
+        rows:
+            Global cloudlet ids of the round's left nodes (the duals are
+            gathered/scattered through these ids).
+        cols:
+            Global item indices of the round's right nodes.
+        edge_rows, edge_cols, edge_costs:
+            The round's edges in *round-local* indices (the exact arrays
+            :meth:`RoundState.build_edges` emits).  Costs must be
+            non-negative -- the zero dual start of the first round is only
+            feasible then (Algorithm 2's Eq. 3 costs always are).
+
+        Returns
+        -------
+        list[tuple[int, int, float]]
+            Matched ``(local_row, local_col, cost)`` triples sorted by row;
+            maximum cardinality, minimum total cost among maximum matchings.
+        """
+        n, m = len(rows), len(cols)
+        costs = np.asarray(edge_costs, dtype=np.float64)
+        if n == 0 or m == 0 or costs.size == 0:
+            return []
+        if costs.min() < 0.0:
+            raise ValidationError(
+                "warm-started rounds require non-negative costs "
+                "(shift them, as the cold entry point does)"
+            )
+        erow = np.asarray(edge_rows, dtype=np.intp)
+        ecol = np.asarray(edge_cols, dtype=np.intp)
+
+        # Row-major CSR with ascending columns inside each row -- the
+        # deterministic layout every tie-break below is defined against.
+        order = np.lexsort((ecol, erow))
+        csr_cols = ecol[order]
+        csr_costs = costs[order]
+        counts = np.bincount(erow, minlength=n)
+        indptr = np.empty(n + 1, dtype=np.intp)
+        indptr[0] = 0
+        np.cumsum(counts, out=indptr[1:])
+
+        rows_idx = np.asarray(rows, dtype=np.intp)
+        cols_idx = np.asarray(cols, dtype=np.intp)
+        # Local dual views: u per local row; v_local packs the real columns
+        # first, then row r's dummy column at index m + r.
+        u = self._u[rows_idx].copy()
+        v_local = np.concatenate([self._v[cols_idx], self._vd[rows_idx]])
+        big = self._big
+
+        width = m + n
+        dist = self._dist[:width]
+        pred = self._pred[:width]
+        scanned = self._scanned[:width]
+        INF = np.inf
+        row4col = np.full(width, -1, dtype=np.intp)
+        col4row = np.full(n, -1, dtype=np.intp)
+
+        popped_cols: list[int] = []
+        popped_dist: list[float] = []
+        for cur_row in range(n):
+            dist.fill(INF)
+            pred.fill(-1)
+            scanned.fill(False)
+            popped_cols.clear()
+            popped_dist.clear()
+            i = cur_row
+            offset = 0.0
+            while True:
+                # Relax row i's real edges (vectorised over its CSR slice)
+                # and its private dummy edge.  Strict ``<`` keeps the first
+                # (lowest-offset) predecessor on ties.
+                lo, hi = indptr[i], indptr[i + 1]
+                if hi > lo:
+                    nbr = csr_cols[lo:hi]
+                    cand = offset + (csr_costs[lo:hi] - u[i] - v_local[nbr])
+                    better = ~scanned[nbr] & (cand < dist[nbr])
+                    improved = nbr[better]
+                    dist[improved] = cand[better]
+                    pred[improved] = i
+                dummy = m + i
+                if not scanned[dummy]:
+                    cand_d = offset + (big - u[i] - v_local[dummy])
+                    if cand_d < dist[dummy]:
+                        dist[dummy] = cand_d
+                        pred[dummy] = i
+                # Pop the closest unscanned column; popped entries are reset
+                # to inf in `dist` (their true distance lives in popped_dist)
+                # so the argmin needs no per-pop masking copy.  argmin's
+                # first-index rule makes ties deterministic (real columns
+                # sit before dummy columns in the local layout).
+                j = int(np.argmin(dist))
+                closest = float(dist[j])
+                if closest == INF:  # pragma: no cover - dummy edges guarantee progress
+                    raise ValidationError("augmentation stalled (no reachable column)")
+                scanned[j] = True
+                dist[j] = INF
+                if row4col[j] < 0:
+                    sink, minval = j, closest
+                    break
+                popped_cols.append(j)
+                popped_dist.append(closest)
+                i = int(row4col[j])
+                offset = closest
+
+            # Dual update: scanned columns (and their matched rows) shift by
+            # their distance shortfall; the inserted row absorbs the full
+            # path length.  Matched edges stay tight, feasibility is kept.
+            if popped_cols:
+                sel = np.asarray(popped_cols, dtype=np.intp)
+                delta = minval - np.asarray(popped_dist)
+                v_local[sel] -= delta
+                u[row4col[sel]] += delta
+            u[cur_row] += minval
+
+            # Augment: flip the alternating path back to the inserted row.
+            j = sink
+            while True:
+                i = int(pred[j])
+                row4col[j] = i
+                col4row[i], j = j, col4row[i]
+                if i == cur_row:
+                    break
+
+        # Persist the improved potentials for the next round.
+        self._u[rows_idx] = u
+        self._v[cols_idx] = v_local[:m]
+        self._vd[rows_idx] = v_local[m:]
+
+        matched: list[tuple[int, int, float]] = []
+        for i in range(n):
+            j = int(col4row[i])
+            if j < m:  # dummy-matched rows are unmatched
+                lo = int(indptr[i])
+                pos = lo + int(
+                    np.searchsorted(csr_cols[lo : int(indptr[i + 1])], j)
+                )
+                matched.append((i, j, float(csr_costs[pos])))
+        return matched
+
+
+def warm_min_cost_max_matching(
+    n_rows: int,
+    n_cols: int,
+    edge_rows: np.ndarray,
+    edge_cols: np.ndarray,
+    edge_costs: np.ndarray,
+) -> list[tuple[int, int, float]]:
+    """Cold single-shot entry point for the warm-started solver.
+
+    Used by the generic :func:`repro.matching.mincost.min_cost_max_matching`
+    interface (and by tests) when no round sequence exists to carry duals
+    across.  Negative costs are handled by a uniform shift -- it adds
+    ``k * shift`` to every cardinality-``k`` matching, leaving the set of
+    min-cost maximum matchings unchanged -- and decoded edges report the
+    original cost floats.
+    """
+    costs = np.asarray(edge_costs, dtype=np.float64)
+    if n_rows == 0 or n_cols == 0 or costs.size == 0:
+        return []
+    low = float(costs.min())
+    shift = -low if low < 0.0 else 0.0
+    shifted = costs + shift if shift else costs
+    solver = DualReusingSolver(n_rows, n_cols, universe_cost_sum=float(shifted.sum()))
+    matched = solver.solve_round(
+        np.arange(n_rows, dtype=np.intp),
+        np.arange(n_cols, dtype=np.intp),
+        edge_rows,
+        edge_cols,
+        shifted,
+    )
+    if not shift:
+        return matched
+    # Recover original costs by edge identity (never unshift by arithmetic).
+    rows = np.asarray(edge_rows, dtype=np.intp)
+    cols = np.asarray(edge_cols, dtype=np.intp)
+    keys = rows * n_cols + cols
+    key_order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[key_order]
+    out = []
+    for r, c, _ in matched:
+        pos = key_order[int(np.searchsorted(sorted_keys, r * n_cols + c))]
+        out.append((r, c, float(costs[pos])))
+    return out
+
+
+__all__ = ["DualReusingSolver", "warm_min_cost_max_matching"]
