@@ -1,0 +1,149 @@
+"""Extension bench: scripted chaos campaigns end to end.
+
+Runs the builtin chaos scenarios (quick: 600 s, soak: 10 200 s of
+simulated time) through :func:`repro.chaos.run_chaos_campaign` -- scripted
+failure storms, rolling outages, flapping cloudlets, and load surges
+driving the resilient stream behind the circuit breaker, with the
+invariant auditor re-deriving ledger occupancy and chain reliabilities on
+its cadence the whole way.  Reports per-campaign wall-clock, simulated
+seconds per wall second, audit counts, and SLO attainment, and persists
+the quick campaign's full ``repro-bench/1`` report JSON.
+
+Campaigns run under the deterministic fake clock so the emitted campaign
+facts (everything except wall-clock timing) are bit-identical across
+machines and runs.
+
+Run standalone for a quick smoke check (used by CI)::
+
+    python benchmarks/bench_chaos.py --quick
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone: bootstrap repo + src onto the path
+    _root = Path(__file__).resolve().parent.parent
+    for entry in (str(_root), str(_root / "src")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+from benchmarks.conftest import RESULTS_DIR, emit, emit_json
+from repro.chaos import run_chaos_campaign
+from repro.util.tables import format_table
+
+SEED = 11
+
+
+def run_campaigns(scenarios):
+    """Run each scenario once under the fake clock; return (rows, reports)."""
+    previous = os.environ.get("REPRO_FAKE_CLOCK")
+    os.environ["REPRO_FAKE_CLOCK"] = "1"
+    try:
+        rows, reports = [], {}
+        for name in scenarios:
+            start = time.perf_counter()
+            report = run_chaos_campaign(name, seed=SEED)
+            elapsed = time.perf_counter() - start
+            reports[name] = report
+            attainment = sum(p.slo_attainment for p in report.phases) / len(
+                report.phases
+            )
+            rows.append(
+                [
+                    name,
+                    round(report.horizon, 1),
+                    round(elapsed, 3),
+                    round(report.horizon / elapsed, 1),
+                    report.audits,
+                    report.resilience.invariant_violations,
+                    len(report.breaker_transitions) - 1,
+                    round(attainment, 4),
+                ]
+            )
+        return rows, reports
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_FAKE_CLOCK", None)
+        else:
+            os.environ["REPRO_FAKE_CLOCK"] = previous
+
+
+def render_table(rows):
+    return format_table(
+        [
+            "scenario",
+            "sim seconds",
+            "wall s",
+            "sim/wall",
+            "audits",
+            "violations",
+            "transitions",
+            "mean attainment",
+        ],
+        rows,
+        title=f"Chaos campaigns (seed {SEED}, fake clock, builtin scenarios)",
+    )
+
+
+def _check(rows):
+    # A campaign with audit violations or a breaker that never moved is a
+    # regression, not a slow run -- fail loudly before recording numbers.
+    for row in rows:
+        assert row[5] == 0, f"invariant violations in {row[0]}: {row}"
+        assert row[6] > 0, f"breaker never transitioned in {row[0]}: {row}"
+
+
+def bench_chaos_campaigns(benchmark, results_dir):
+    rows, reports = benchmark.pedantic(
+        lambda: run_campaigns(("quick", "soak")), rounds=1, iterations=1
+    )
+    _check(rows)
+    emit(results_dir, "chaos_campaigns", render_table(rows))
+    quick = reports["quick"].to_dict()
+    emit_json(
+        results_dir,
+        "chaos_campaigns",
+        config=quick["config"],
+        points=quick["points"],
+        extra={
+            "summary": quick["summary"],
+            "breaker_timeline": quick["breaker_timeline"],
+        },
+    )
+
+
+def main(argv):
+    unknown = [a for a in argv if a != "--quick"]
+    if unknown:
+        print(f"usage: bench_chaos.py [--quick] (got {unknown})")
+        return 2
+    quick = "--quick" in argv
+    scenarios = ("quick",) if quick else ("quick", "soak")
+    rows, reports = run_campaigns(scenarios)
+    _check(rows)
+    text = render_table(rows)
+    if quick:
+        print(text)
+    else:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        emit(RESULTS_DIR, "chaos_campaigns", text)
+        doc = reports["quick"].to_dict()
+        emit_json(
+            RESULTS_DIR,
+            "chaos_campaigns",
+            config=doc["config"],
+            points=doc["points"],
+            extra={
+                "summary": doc["summary"],
+                "breaker_timeline": doc["breaker_timeline"],
+            },
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

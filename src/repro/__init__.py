@@ -66,6 +66,18 @@ from repro.experiments import (
     run_figure3,
     run_point,
 )
+from repro.chaos import (
+    BreakerGuardedSolver,
+    BreakerPolicy,
+    CampaignReport,
+    ChaosScenario,
+    CircuitBreaker,
+    InvariantAuditor,
+    builtin_scenarios,
+    load_scenario,
+    render_dashboard,
+    run_chaos_campaign,
+)
 from repro.experiments.batch import BatchReport, run_request_stream
 from repro.experiments.resilience import (
     FAULT_SCENARIOS,
@@ -125,6 +137,12 @@ __all__ = [
     "AugmentationResult",
     "AugmentationSolution",
     "BackupItem",
+    "BreakerGuardedSolver",
+    "BreakerPolicy",
+    "CampaignReport",
+    "ChaosScenario",
+    "CircuitBreaker",
+    "InvariantAuditor",
     "CapacityError",
     "CapacityLedger",
     "DEFAULT_SETTINGS",
@@ -156,6 +174,7 @@ __all__ = [
     "ValidationError",
     "admit_request",
     "build_mec_network",
+    "builtin_scenarios",
     "chain_reliability",
     "check_solution",
     "default_fallback_chain",
@@ -164,9 +183,12 @@ __all__ = [
     "generate_gtitm_topology",
     "generate_items",
     "item_gain",
+    "load_scenario",
     "make_trial",
     "paper_cost",
     "random_primary_placement",
+    "render_dashboard",
+    "run_chaos_campaign",
     "run_fault_scenario",
     "run_figure1",
     "run_figure2",

@@ -125,6 +125,41 @@ class FallbackAlgorithm(AugmentationAlgorithm):
         self.tiers = tuple(tiers)
         self.name = "Fallback[" + ">".join(t.algorithm.name for t in self.tiers) + "]"
 
+    @property
+    def terminal(self) -> AugmentationAlgorithm:
+        """The last (cheapest, always-answering) tier's algorithm.
+
+        Degradation layers -- notably the chaos circuit breaker
+        (:mod:`repro.chaos.breaker`) -- serve from this tier directly while
+        the breaker is open, skipping the expensive tiers and their
+        timeouts entirely.
+        """
+        return self.tiers[-1].algorithm
+
+    def solve_terminal(
+        self, problem: AugmentationProblem, rng: RandomState = None
+    ) -> AugmentationResult:
+        """Solve with the terminal tier only (the degraded service path).
+
+        No timeout thread is involved: the terminal tier is expected to be
+        cheap and deterministic.  The result carries the same fallback
+        metadata keys as :meth:`solve`, plus ``fallback_degraded=True`` so
+        reports can distinguish breaker-degraded serves from a normally
+        exhausted chain.
+        """
+        index = len(self.tiers) - 1
+        result = self.terminal.solve(problem, rng=rng)
+        return replace(
+            result,
+            meta={
+                **result.meta,
+                "fallback_tier": index,
+                "fallback_algorithm": self.terminal.name,
+                "fallback_failures": (),
+                "fallback_degraded": True,
+            },
+        )
+
     def solve(
         self, problem: AugmentationProblem, rng: RandomState = None
     ) -> AugmentationResult:

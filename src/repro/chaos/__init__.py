@@ -1,0 +1,69 @@
+"""Chaos campaign engine: scripted adversity, degradation, and auditing.
+
+The :mod:`repro.resilience` stream reacts to *sampled* failures; this
+package drives it through *scripted* adversarial scenarios -- failure
+storms, rolling cloudlet outages, flapping, load surges -- while a circuit
+breaker degrades the solver path gracefully and a continuous auditor
+re-derives every runtime invariant from first principles.  See
+``docs/resilience.md`` ("Chaos campaigns") for the narrative.
+"""
+
+from repro.chaos.audit import InvariantAuditor
+from repro.chaos.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerGuardedSolver,
+    BreakerPolicy,
+    BreakerTransition,
+    CircuitBreaker,
+    default_chaos_chain,
+)
+from repro.chaos.campaign import (
+    ChaosStreamController,
+    resolve_scenario,
+    run_chaos_campaign,
+)
+from repro.chaos.report import (
+    CampaignReport,
+    CampaignTracker,
+    PhaseStats,
+    render_dashboard,
+)
+from repro.chaos.scenario import (
+    ChaosScenario,
+    FailureStorm,
+    FlappingCloudlet,
+    LoadSurge,
+    Phase,
+    RollingOutage,
+    builtin_scenarios,
+    load_scenario,
+)
+
+__all__ = [
+    "BreakerGuardedSolver",
+    "BreakerPolicy",
+    "BreakerTransition",
+    "CampaignReport",
+    "CampaignTracker",
+    "ChaosScenario",
+    "ChaosStreamController",
+    "CircuitBreaker",
+    "CLOSED",
+    "FailureStorm",
+    "FlappingCloudlet",
+    "HALF_OPEN",
+    "InvariantAuditor",
+    "LoadSurge",
+    "OPEN",
+    "Phase",
+    "PhaseStats",
+    "RollingOutage",
+    "builtin_scenarios",
+    "default_chaos_chain",
+    "load_scenario",
+    "render_dashboard",
+    "resolve_scenario",
+    "run_chaos_campaign",
+]

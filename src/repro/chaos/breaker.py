@@ -1,0 +1,262 @@
+"""Circuit breaker + graceful degradation around the solver fallback chain.
+
+The :class:`~repro.algorithms.fallback.FallbackAlgorithm` already degrades
+*within* one solve: a tier that times out or raises is skipped.  What it
+cannot do is remember.  During a sustained incident -- half the cloudlets
+blockaded, every exact solve either failing or returning a shortfall --
+the chain re-climbs the full ladder on every request, burning its
+per-solve budgets on tiers that have no chance.  The classic remedy is a
+**circuit breaker** over the chain:
+
+* **CLOSED** (healthy): every solve runs the full chain.  ``K``
+  consecutive failures trip the breaker.
+* **OPEN** (incident): solves are served directly by the chain's terminal
+  (greedy) tier -- cheap, timeout-free, always answers -- and admission
+  *sheds*: the request's reliability expectation is degraded by
+  ``shed_factor`` so the system keeps admitting at a reduced target
+  instead of rejecting everything.  After ``cooldown`` simulated seconds
+  the breaker half-opens.
+* **HALF_OPEN** (probing): the next solves run the full chain again as
+  probes.  ``probe_successes`` consecutive successes re-close the breaker;
+  a single probe failure re-opens it (and restarts the cooldown).
+
+What counts as a *failure* is deliberately broader than an exception.  A
+solve fails when the chain is exhausted (raises), when any tier failed
+before the winner (latent tier trouble), or when the winning result does
+not meet the request's expectation (a *shortfall*) -- under blockaded
+capacity the solvers return feasible-but-insufficient augmentations, and
+shortfall is the deterministic signal that capacity, not code, is the
+bottleneck.
+
+Time comes from an injected ``clock`` callable (the campaign passes the
+event queue's ``now``), so breaker behaviour is simulated-time pure and
+bit-reproducible: the OPEN -> HALF_OPEN transition is recorded lazily at
+the *exact* instant ``opened_at + cooldown``, not at whatever event
+happened to observe it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.algorithms.base import AugmentationAlgorithm
+from repro.algorithms.fallback import FallbackAlgorithm
+from repro.core.problem import AugmentationProblem
+from repro.core.solution import AugmentationResult
+from repro.util.errors import ValidationError
+from repro.util.rng import RandomState
+
+#: Breaker states (strings so timelines serialise directly to JSON).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Trip/recovery discipline of the circuit breaker.
+
+    Attributes
+    ----------
+    failure_threshold:
+        Consecutive solve failures (while CLOSED) that open the breaker.
+    cooldown:
+        Simulated seconds the breaker stays OPEN before probing.
+    probe_successes:
+        Consecutive HALF_OPEN successes required to re-close.
+    shed_factor:
+        While OPEN, admission targets are multiplied by this factor --
+        requests are admitted against a degraded reliability expectation
+        instead of being rejected outright.  1.0 disables shedding.
+    """
+
+    failure_threshold: int = 3
+    cooldown: float = 60.0
+    probe_successes: int = 2
+    shed_factor: float = 0.97
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValidationError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown <= 0:
+            raise ValidationError(f"cooldown must be > 0, got {self.cooldown}")
+        if self.probe_successes < 1:
+            raise ValidationError(
+                f"probe_successes must be >= 1, got {self.probe_successes}"
+            )
+        if not (0.0 < self.shed_factor <= 1.0):
+            raise ValidationError(
+                f"shed_factor must be in (0, 1], got {self.shed_factor}"
+            )
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One state change in the breaker's life, for the report timeline."""
+
+    time: float
+    state: str
+    reason: str
+
+
+class CircuitBreaker:
+    """The state machine.  All timing flows through the injected clock."""
+
+    def __init__(self, policy: BreakerPolicy, clock: Callable[[], float]):
+        self.policy = policy
+        self.clock = clock
+        self._state = CLOSED
+        self._failures = 0  # consecutive, while CLOSED
+        self._probes = 0  # consecutive successes, while HALF_OPEN
+        self._opened_at: float | None = None
+        self.transitions: list[BreakerTransition] = [
+            BreakerTransition(time=clock(), state=CLOSED, reason="init")
+        ]
+
+    # -- state ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state; advances OPEN -> HALF_OPEN lazily on inspection.
+
+        The transition is *recorded* at the exact instant the cooldown
+        expired (``opened_at + cooldown``), regardless of when an event
+        first observed it, so timelines are identical however event times
+        interleave with the cooldown boundary.
+        """
+        if self._state == OPEN and self._opened_at is not None:
+            boundary = self._opened_at + self.policy.cooldown
+            if self.clock() >= boundary:
+                self._set(HALF_OPEN, "cooldown elapsed", at=boundary)
+        return self._state
+
+    def _set(self, state: str, reason: str, at: float | None = None) -> None:
+        self._state = state
+        self._failures = 0
+        self._probes = 0
+        self._opened_at = self.clock() if at is None else at
+        self.transitions.append(
+            BreakerTransition(
+                time=self.clock() if at is None else at, state=state, reason=reason
+            )
+        )
+
+    # -- outcome recording ------------------------------------------------------
+    def record_success(self) -> None:
+        state = self.state
+        if state == CLOSED:
+            self._failures = 0
+        elif state == HALF_OPEN:
+            self._probes += 1
+            if self._probes >= self.policy.probe_successes:
+                self._set(CLOSED, f"{self._probes} probe successes")
+        # OPEN: terminal-tier serves always "succeed"; they carry no signal
+
+    def record_failure(self, reason: str) -> None:
+        state = self.state
+        if state == CLOSED:
+            self._failures += 1
+            if self._failures >= self.policy.failure_threshold:
+                self._set(
+                    OPEN, f"{self._failures} consecutive failures ({reason})"
+                )
+        elif state == HALF_OPEN:
+            self._set(OPEN, f"probe failed ({reason})")
+        # OPEN: nothing to do -- already degraded
+
+    # -- degradation ------------------------------------------------------------
+    def admission_target(self, expectation: float) -> float:
+        """The (possibly shed) reliability target for an arriving request."""
+        if self.state == OPEN:
+            return expectation * self.policy.shed_factor
+        return expectation
+
+    # -- reporting --------------------------------------------------------------
+    def occupancy(self, horizon: float) -> dict[str, float]:
+        """Simulated seconds spent in each state over ``[0, horizon]``."""
+        out = {CLOSED: 0.0, OPEN: 0.0, HALF_OPEN: 0.0}
+        for i, tr in enumerate(self.transitions):
+            start = min(tr.time, horizon)
+            end = horizon
+            if i + 1 < len(self.transitions):
+                end = min(self.transitions[i + 1].time, horizon)
+            if end > start:
+                out[tr.state] += end - start
+        return out
+
+    def state_at(self, t: float) -> str:
+        """State at simulated time ``t``, from the recorded timeline."""
+        state = self.transitions[0].state
+        for tr in self.transitions:
+            if tr.time <= t:
+                state = tr.state
+            else:
+                break
+        return state
+
+
+class BreakerGuardedSolver(AugmentationAlgorithm):
+    """A fallback chain behind a circuit breaker.
+
+    Drop-in :class:`AugmentationAlgorithm`: while the breaker is CLOSED or
+    HALF_OPEN, :meth:`solve` runs the full chain and feeds the outcome to
+    the breaker; while OPEN it serves directly from the terminal tier
+    (no timeouts, no probing).  Results carry ``meta["breaker_state"]``
+    -- the state that *served* the request.
+
+    Failure signal (any one of):
+
+    * the chain raised :class:`FallbackExhaustedError` (re-raised to the
+      caller after recording, preserving stream semantics);
+    * any tier failed before the winner (``meta["fallback_failures"]``);
+    * the result is a shortfall (``not result.expectation_met``).
+    """
+
+    def __init__(self, chain: FallbackAlgorithm, breaker: CircuitBreaker):
+        self.chain = chain
+        self.breaker = breaker
+        self.name = f"Breaker[{chain.name}]"
+
+    def solve(
+        self, problem: AugmentationProblem, rng: RandomState = None
+    ) -> AugmentationResult:
+        state = self.breaker.state
+        if state == OPEN:
+            result = self.chain.solve_terminal(problem, rng=rng)
+            return replace(result, meta={**result.meta, "breaker_state": OPEN})
+        try:
+            result = self.chain.solve(problem, rng=rng)
+        except Exception as exc:
+            self.breaker.record_failure(type(exc).__name__)
+            raise
+        if result.meta.get("fallback_failures"):
+            self.breaker.record_failure("tier failures before winner")
+        elif not result.expectation_met:
+            self.breaker.record_failure("shortfall")
+        else:
+            self.breaker.record_success()
+        return replace(result, meta={**result.meta, "breaker_state": state})
+
+
+def default_chaos_chain() -> FallbackAlgorithm:
+    """The fallback chain chaos campaigns run behind the breaker.
+
+    Timeout-free by design: wall-clock timeouts measure *host* speed, which
+    is exactly the nondeterminism a reproducible campaign must exclude
+    (under ``REPRO_FAKE_CLOCK`` a budget thread would expire at arbitrary
+    points).  The heuristic tier provides quality, the greedy terminal tier
+    provides the degraded-service path, and the breaker's shortfall signal
+    -- not a timer -- drives degradation.
+    """
+    from repro.algorithms.baselines import GreedyGain
+    from repro.algorithms.fallback import FallbackTier
+    from repro.algorithms.heuristic import MatchingHeuristic
+
+    return FallbackAlgorithm(
+        [
+            FallbackTier(MatchingHeuristic(), timeout=None),
+            FallbackTier(GreedyGain(), timeout=None),
+        ]
+    )

@@ -1,0 +1,330 @@
+"""Campaign reporting: per-phase SLO attainment, breaker timeline, MTTR.
+
+The base :class:`~repro.resilience.metrics.ResilienceReport` aggregates one
+run end-to-end; a chaos campaign needs the *per-phase* view -- "the rolling
+blackout cost 12% SLO attainment, recovery restored it within one phase" --
+plus the degradation story: when the breaker opened, how long service ran
+degraded, how many admissions were shed to a reduced target.
+
+Phase SLO attainment is measured in **chain-seconds**: after every event
+the campaign controller reports how many committed chains currently meet
+their SLO and how many are in breach; the tracker integrates both counts
+piecewise-constant over simulated time into the phase the interval belongs
+to.  ``slo_attainment`` is then ok-time over total chain-time -- an
+occupancy-weighted availability, robust to phases with wildly different
+chain populations.
+
+Everything here is plain-python deterministic: the report's
+:meth:`~CampaignReport.to_dict` JSON (schema ``repro-bench/1``) contains
+no wall-clock timestamps or machine facts, so a fixed seed under the fake
+clock reproduces it byte-for-byte -- the replay test pins exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.chaos.breaker import CLOSED, OPEN, BreakerTransition
+from repro.resilience.metrics import ResilienceReport
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class PhaseStats:
+    """Aggregates of one scenario phase.
+
+    ``breaches``/``restorations`` are deltas of the stream-wide counters
+    over the phase window; ``ok_chain_time``/``breached_chain_time`` are
+    the integrated chain-seconds described in the module docstring.
+    """
+
+    index: int
+    name: str
+    start: float
+    end: float
+    arrivals: int = 0
+    admitted: int = 0
+    met_at_commit: int = 0
+    shed_admissions: int = 0
+    breaches: int = 0
+    restorations: int = 0
+    ok_chain_time: float = 0.0
+    breached_chain_time: float = 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        """Ok chain-seconds over total chain-seconds (1.0 when no chains)."""
+        total = self.ok_chain_time + self.breached_chain_time
+        if total <= 0:
+            return 1.0
+        return self.ok_chain_time / total
+
+
+class CampaignTracker:
+    """Event-time accumulator for the per-phase campaign view.
+
+    Driven by the campaign controller: :meth:`begin_phase` at each scripted
+    phase boundary, :meth:`advance` after every event with the current
+    ok/breached chain counts, :meth:`on_admission` at commit time.
+    """
+
+    def __init__(self) -> None:
+        self.phases: list[PhaseStats] = []
+        self.admissions_by_state: dict[str, int] = {}
+        self._last_time = 0.0
+        self._ok = 0
+        self._breached = 0
+        self._breach_snapshot = 0
+        self._restore_snapshot = 0
+
+    @property
+    def current(self) -> PhaseStats:
+        if not self.phases:
+            raise ValidationError("no phase started yet")
+        return self.phases[-1]
+
+    def begin_phase(
+        self, index: int, name: str, now: float, report: ResilienceReport
+    ) -> None:
+        """Open a new phase at ``now``, closing the previous one."""
+        self._integrate(now)
+        breaches = sum(t.breaches for t in report.timelines.values())
+        restorations = sum(t.restorations for t in report.timelines.values())
+        if self.phases:
+            prev = self.phases[-1]
+            prev.end = now
+            prev.breaches = breaches - self._breach_snapshot
+            prev.restorations = restorations - self._restore_snapshot
+        self._breach_snapshot = breaches
+        self._restore_snapshot = restorations
+        self.phases.append(PhaseStats(index=index, name=name, start=now, end=now))
+
+    def advance(self, now: float, ok: int, breached: int) -> None:
+        """Integrate the interval since the last event, then take the new
+        piecewise-constant chain counts."""
+        self._integrate(now)
+        self._ok = ok
+        self._breached = breached
+
+    def _integrate(self, now: float) -> None:
+        span = now - self._last_time
+        if span > 0 and self.phases:
+            self.current.ok_chain_time += span * self._ok
+            self.current.breached_chain_time += span * self._breached
+        self._last_time = max(self._last_time, now)
+
+    def on_admission(
+        self, admitted: bool, met: bool, shed: bool, breaker_state: str
+    ) -> None:
+        """Record one arrival's commit-time outcome into the current phase."""
+        phase = self.current
+        phase.arrivals += 1
+        if admitted:
+            phase.admitted += 1
+        if met:
+            phase.met_at_commit += 1
+        if shed:
+            phase.shed_admissions += 1
+        self.admissions_by_state[breaker_state] = (
+            self.admissions_by_state.get(breaker_state, 0) + 1
+        )
+
+    def close(self, horizon: float, report: ResilienceReport) -> None:
+        """Seal the final phase at the horizon."""
+        self._integrate(horizon)
+        if self.phases:
+            last = self.phases[-1]
+            last.end = horizon
+            last.breaches = (
+                sum(t.breaches for t in report.timelines.values())
+                - self._breach_snapshot
+            )
+            last.restorations = (
+                sum(t.restorations for t in report.timelines.values())
+                - self._restore_snapshot
+            )
+
+
+@dataclass
+class CampaignReport:
+    """Everything one chaos campaign produced."""
+
+    scenario: str
+    seed: int | None
+    horizon: float
+    resilience: ResilienceReport
+    phases: list[PhaseStats]
+    breaker_transitions: list[BreakerTransition]
+    breaker_occupancy: dict[str, float]
+    admissions_by_state: dict[str, int] = field(default_factory=dict)
+    audits: int = 0
+
+    # -- breaker convenience ----------------------------------------------------
+    @property
+    def breaker_opened(self) -> bool:
+        """Whether the breaker ever tripped OPEN."""
+        return any(tr.state == OPEN for tr in self.breaker_transitions)
+
+    @property
+    def breaker_reclosed(self) -> bool:
+        """Whether the breaker returned to CLOSED after having been OPEN."""
+        seen_open = False
+        for tr in self.breaker_transitions:
+            if tr.state == OPEN:
+                seen_open = True
+            elif tr.state == CLOSED and seen_open:
+                return True
+        return False
+
+    @property
+    def shed_admissions(self) -> int:
+        return sum(p.shed_admissions for p in self.phases)
+
+    # -- serialisation ----------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Machine-readable record (schema ``repro-bench/1``).
+
+        Deliberately free of wall-clock/machine facts: a fixed seed under
+        ``REPRO_FAKE_CLOCK`` must reproduce this dict byte-for-byte.
+        """
+        res = self.resilience
+        return {
+            "schema": "repro-bench/1",
+            "benchmark": "chaos-campaign",
+            "config": {
+                "scenario": self.scenario,
+                "seed": self.seed,
+                "horizon": self.horizon,
+            },
+            "summary": {
+                "requests": res.num_requests,
+                "acceptance_rate": res.acceptance_rate,
+                "mean_availability": res.mean_availability,
+                "time_below_slo": res.time_below_slo,
+                "chains_degraded": res.chains_degraded,
+                "chains_unrepairable": res.chains_unrepairable,
+                "repair_attempts": res.repair_attempts,
+                "repair_success_rate": res.repair_success_rate,
+                "mttr": res.mttr,
+                "mttr_percentiles": res.mttr_percentiles(),
+                "invariant_violations": res.invariant_violations,
+                "audits": self.audits,
+                "shed_admissions": self.shed_admissions,
+                "admissions_by_state": dict(
+                    sorted(self.admissions_by_state.items())
+                ),
+                "breaker_opened": self.breaker_opened,
+                "breaker_reclosed": self.breaker_reclosed,
+                "breaker_occupancy": dict(sorted(self.breaker_occupancy.items())),
+                "event_counts": dict(sorted(res.event_counts.items())),
+                "final_utilisation": res.final_utilisation,
+            },
+            "breaker_timeline": [asdict(tr) for tr in self.breaker_transitions],
+            "points": [
+                {
+                    "phase": p.index,
+                    "name": p.name,
+                    "start": p.start,
+                    "end": p.end,
+                    "arrivals": p.arrivals,
+                    "admitted": p.admitted,
+                    "met_at_commit": p.met_at_commit,
+                    "shed_admissions": p.shed_admissions,
+                    "breaches": p.breaches,
+                    "restorations": p.restorations,
+                    "slo_attainment": p.slo_attainment,
+                }
+                for p in self.phases
+            ],
+        }
+
+
+# -- the ascii dashboard ---------------------------------------------------------
+_STATE_GLYPH = {"closed": "C", "open": "O", "half-open": "H"}
+
+
+def _table(headers: list[str], rows: list[list[object]]) -> str:
+    cells = [headers] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _state_strip(report: CampaignReport, buckets: int = 72) -> str:
+    """One character per time bucket: C(losed) / O(pen) / H(alf-open)."""
+    if report.horizon <= 0:
+        return ""
+    chars = []
+    transitions = report.breaker_transitions
+    for b in range(buckets):
+        t = report.horizon * (b + 0.5) / buckets
+        state = transitions[0].state if transitions else "closed"
+        for tr in transitions:
+            if tr.time <= t:
+                state = tr.state
+            else:
+                break
+        chars.append(_STATE_GLYPH.get(state, "?"))
+    return "".join(chars)
+
+
+def render_dashboard(report: CampaignReport) -> str:
+    """The operator-facing ascii summary of one campaign."""
+    res = report.resilience
+    sections = [
+        f"chaos campaign: {report.scenario}  "
+        f"(horizon {report.horizon:g}s, seed {report.seed})",
+        "",
+        _table(
+            ["metric", "value"],
+            res.summary_rows()
+            + [
+                ["audits passed", report.audits],
+                ["shed admissions", report.shed_admissions],
+                ["breaker opened", report.breaker_opened],
+                ["breaker re-closed", report.breaker_reclosed],
+            ],
+        ),
+        "",
+        "per-phase SLO attainment:",
+        _table(
+            ["phase", "window", "arrivals", "admitted", "shed", "breach", "restore",
+             "slo"],
+            [
+                [
+                    p.name,
+                    f"[{p.start:g}, {p.end:g})",
+                    p.arrivals,
+                    p.admitted,
+                    p.shed_admissions,
+                    p.breaches,
+                    p.restorations,
+                    f"{p.slo_attainment:.4f}",
+                ]
+                for p in report.phases
+            ],
+        ),
+        "",
+        "breaker timeline:",
+        _table(
+            ["t", "state", "reason"],
+            [
+                [f"{tr.time:.3f}", tr.state, tr.reason]
+                for tr in report.breaker_transitions
+            ],
+        ),
+        "",
+        "breaker state over time (C=closed O=open H=half-open):",
+        "  " + _state_strip(report),
+        "",
+        "breaker occupancy: "
+        + "  ".join(
+            f"{state}={seconds:g}s"
+            for state, seconds in sorted(report.breaker_occupancy.items())
+        ),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,506 @@
+"""The chaos scenario DSL: phased adversarial event scripts.
+
+A :class:`ChaosScenario` is a declarative, JSON-loadable script of what the
+campaign engine throws at the resilient stream and when.  It composes
+*phases* -- named windows of simulated time -- each carrying a list of
+scripted events:
+
+* :class:`FailureStorm` -- a burst killing a fraction of all live
+  instances at one instant (correlated software failure: a bad rollout, a
+  poisoned config push);
+* :class:`RollingOutage` -- sequential cloudlet blackouts with a stagger
+  smaller than the outage duration, so blackouts *overlap* (a zone-by-zone
+  power event or maintenance wave gone wrong);
+* :class:`FlappingCloudlet` -- down/up oscillation of a cloudlet faster
+  than the repair backoff, the classic pathological input for retry logic;
+* :class:`LoadSurge` -- a burst of extra request arrivals inside a window
+  (flash crowd), stressing admission while capacity may be degraded.
+
+Everything is plain dataclasses with total validation at construction, and
+the JSON form round-trips bit-exactly (``from_dict(to_dict(s)) == s``), so
+a campaign is fully described by ``(scenario JSON, workload settings,
+seed)`` -- the reproducibility contract the replay tests pin.
+
+Cloudlet targeting.  Events may name explicit cloudlet ids; when they
+don't, :meth:`ChaosScenario.expand` assigns targets from the *sorted*
+cloudlet list through a rotating cursor, so successive events spread over
+the topology deterministically without the scenario author knowing it.
+
+Time scale.  All times are simulated seconds.  The stock scenarios set
+``FailureConfig.instance_mttr`` in the hundreds of seconds so a multi-hour
+horizon carries realistic churn; nothing in the engine assumes a unit.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Mapping, Sequence, Union
+
+from repro.chaos.breaker import BreakerPolicy
+from repro.resilience.injector import FailureConfig
+from repro.resilience.repair import RepairPolicy
+from repro.resilience.stream import ARRIVAL, ResilienceConfig
+from repro.util.errors import ValidationError
+
+#: Event kinds the campaign controller handles beyond the base stream's.
+PHASE_START = "chaos-phase"
+STORM = "chaos-storm"
+CHAOS_DOWN = "chaos-down"
+CHAOS_UP = "chaos-up"
+AUDIT = "chaos-audit"
+
+
+@dataclass(frozen=True)
+class FailureStorm:
+    """Kill ``fraction`` of all live instances at ``at`` (phase-relative)."""
+
+    at: float
+    fraction: float = 0.3
+
+    kind = "storm"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValidationError(f"storm at must be >= 0, got {self.at}")
+        if not (0.0 < self.fraction <= 1.0):
+            raise ValidationError(
+                f"storm fraction must be in (0, 1], got {self.fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class RollingOutage:
+    """Sequential blackouts: target ``i`` goes down at ``at + i*stagger``
+    for ``outage`` seconds.  ``stagger < outage`` makes blackouts overlap."""
+
+    at: float
+    targets: int = 3
+    outage: float = 120.0
+    stagger: float = 60.0
+    cloudlets: tuple[int, ...] = ()
+
+    kind = "rolling-outage"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValidationError(f"rolling outage at must be >= 0, got {self.at}")
+        if self.targets < 1:
+            raise ValidationError(f"targets must be >= 1, got {self.targets}")
+        if self.outage <= 0:
+            raise ValidationError(f"outage duration must be > 0, got {self.outage}")
+        if self.stagger < 0:
+            raise ValidationError(f"stagger must be >= 0, got {self.stagger}")
+        if self.cloudlets and len(self.cloudlets) != self.targets:
+            raise ValidationError(
+                f"{self.targets} targets but {len(self.cloudlets)} explicit cloudlets"
+            )
+
+
+@dataclass(frozen=True)
+class FlappingCloudlet:
+    """Down/up oscillation: each cycle is ``down`` seconds of outage then
+    ``up`` seconds of service, repeated ``cycles`` times per target."""
+
+    at: float
+    targets: int = 1
+    down: float = 20.0
+    up: float = 20.0
+    cycles: int = 4
+    cloudlets: tuple[int, ...] = ()
+
+    kind = "flapping"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValidationError(f"flapping at must be >= 0, got {self.at}")
+        if self.targets < 1:
+            raise ValidationError(f"targets must be >= 1, got {self.targets}")
+        if self.down <= 0 or self.up <= 0:
+            raise ValidationError(
+                f"flap down/up durations must be > 0, got {self.down}/{self.up}"
+            )
+        if self.cycles < 1:
+            raise ValidationError(f"cycles must be >= 1, got {self.cycles}")
+        if self.cloudlets and len(self.cloudlets) != self.targets:
+            raise ValidationError(
+                f"{self.targets} targets but {len(self.cloudlets)} explicit cloudlets"
+            )
+
+
+@dataclass(frozen=True)
+class LoadSurge:
+    """``requests`` extra arrivals spread evenly over ``duration`` seconds."""
+
+    at: float
+    duration: float = 60.0
+    requests: int = 8
+
+    kind = "surge"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValidationError(f"surge at must be >= 0, got {self.at}")
+        if self.duration <= 0:
+            raise ValidationError(f"surge duration must be > 0, got {self.duration}")
+        if self.requests < 1:
+            raise ValidationError(f"surge requests must be >= 1, got {self.requests}")
+
+
+ChaosEvent = Union[FailureStorm, RollingOutage, FlappingCloudlet, LoadSurge]
+
+#: JSON ``kind`` discriminator -> event dataclass.
+EVENT_KINDS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (FailureStorm, RollingOutage, FlappingCloudlet, LoadSurge)
+}
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One named window of the campaign, with its scripted events.
+
+    Event ``at`` offsets are relative to the phase start and must fall
+    inside the phase.
+    """
+
+    name: str
+    duration: float
+    events: tuple[ChaosEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("phase name must be non-empty")
+        if self.duration <= 0:
+            raise ValidationError(
+                f"phase {self.name!r}: duration must be > 0, got {self.duration}"
+            )
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if event.at > self.duration:
+                raise ValidationError(
+                    f"phase {self.name!r}: event at t={event.at} falls outside "
+                    f"the phase duration {self.duration}"
+                )
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A complete campaign script.
+
+    Attributes
+    ----------
+    name:
+        Scenario identity, stamped into the campaign report.
+    phases:
+        Ordered phases; the campaign horizon is the sum of their durations.
+    background_requests:
+        Baseline arrivals spread over ``arrival_span`` of the horizon
+        (surge events add more on top).
+    arrival_span:
+        Fraction of the horizon the baseline arrivals cover.
+    failures:
+        Background stochastic failure processes (instance churn; sampled
+        cloudlet outages must be disabled when the script contains
+        cloudlet events -- see below).
+    policy:
+        Repair retry discipline.
+    breaker:
+        Circuit-breaker policy guarding the solver chain.
+    audit_cadence:
+        Simulated seconds between invariant audits; 0 disables auditing.
+    """
+
+    name: str
+    phases: tuple[Phase, ...]
+    background_requests: int = 16
+    arrival_span: float = 0.5
+    failures: FailureConfig = field(default_factory=FailureConfig)
+    policy: RepairPolicy = field(default_factory=RepairPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    audit_cadence: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("scenario name must be non-empty")
+        object.__setattr__(self, "phases", tuple(self.phases))
+        if not self.phases:
+            raise ValidationError("a scenario needs at least one phase")
+        if self.background_requests < 0:
+            raise ValidationError(
+                f"background_requests must be >= 0, got {self.background_requests}"
+            )
+        if not (0.0 < self.arrival_span <= 1.0):
+            raise ValidationError(
+                f"arrival_span must be in (0, 1], got {self.arrival_span}"
+            )
+        if self.audit_cadence < 0:
+            raise ValidationError(
+                f"audit_cadence must be >= 0, got {self.audit_cadence}"
+            )
+        scripted_cloudlets = any(
+            isinstance(e, (RollingOutage, FlappingCloudlet))
+            for phase in self.phases
+            for e in phase.events
+        )
+        if scripted_cloudlets and not math.isinf(self.failures.cloudlet_mtbf):
+            raise ValidationError(
+                "scripted cloudlet events (rolling outages / flapping) cannot "
+                "be combined with sampled cloudlet outages: set "
+                "FailureConfig.cloudlet_mtbf=inf so forced recoveries do not "
+                "cancel the sampled process"
+            )
+
+    # -- derived shape ----------------------------------------------------------
+    @property
+    def horizon(self) -> float:
+        """Total simulated span: the sum of phase durations."""
+        return sum(phase.duration for phase in self.phases)
+
+    def phase_starts(self) -> list[float]:
+        """Absolute start time of each phase."""
+        starts, t = [], 0.0
+        for phase in self.phases:
+            starts.append(t)
+            t += phase.duration
+        return starts
+
+    def to_resilience_config(self) -> ResilienceConfig:
+        """The base-stream configuration this scenario implies."""
+        return ResilienceConfig(
+            horizon=self.horizon,
+            arrival_span=self.arrival_span,
+            failures=self.failures,
+            policy=self.policy,
+        )
+
+    # -- expansion --------------------------------------------------------------
+    def expand(self, cloudlets: Sequence[int]) -> list[tuple[float, tuple]]:
+        """Compile the script into concrete ``(time, payload)`` events.
+
+        ``cloudlets`` is the topology's cloudlet set; targets not named
+        explicitly are assigned from its sorted order through a rotating
+        cursor.  The returned list is in *construction* order -- schedule
+        it through :meth:`EventQueue.schedule_batch` so same-timestamp
+        events acquire the stable ``(time, kind, id)`` order.
+        """
+        pool = sorted(cloudlets)
+        if not pool:
+            raise ValidationError("cannot expand a scenario over zero cloudlets")
+        cursor = 0
+        out: list[tuple[float, tuple]] = []
+
+        def pick(event) -> list[int]:
+            nonlocal cursor
+            if event.cloudlets:
+                unknown = [v for v in event.cloudlets if v not in pool]
+                if unknown:
+                    raise ValidationError(
+                        f"scenario {self.name!r}: unknown cloudlets {unknown}"
+                    )
+                return list(event.cloudlets)
+            chosen = [pool[(cursor + i) % len(pool)] for i in range(event.targets)]
+            cursor = (cursor + event.targets) % len(pool)
+            return chosen
+
+        for index, (phase, start) in enumerate(zip(self.phases, self.phase_starts())):
+            out.append((start, (PHASE_START, index, phase.name)))
+            for e_index, event in enumerate(phase.events):
+                t0 = start + event.at
+                if isinstance(event, FailureStorm):
+                    out.append((t0, (STORM, event.fraction)))
+                elif isinstance(event, RollingOutage):
+                    for i, v in enumerate(pick(event)):
+                        down = t0 + i * event.stagger
+                        out.append((down, (CHAOS_DOWN, v)))
+                        out.append((down + event.outage, (CHAOS_UP, v)))
+                elif isinstance(event, FlappingCloudlet):
+                    for v in pick(event):
+                        for cycle in range(event.cycles):
+                            down = t0 + cycle * (event.down + event.up)
+                            out.append((down, (CHAOS_DOWN, v)))
+                            out.append((down + event.down, (CHAOS_UP, v)))
+                elif isinstance(event, LoadSurge):
+                    for i in range(event.requests):
+                        t = t0 + event.duration * (i + 1) / event.requests
+                        label = f"surge{index}.{e_index}.{i}"
+                        out.append((t, (ARRIVAL, label)))
+                else:  # pragma: no cover - the union is closed
+                    raise ValidationError(f"unknown event type {type(event).__name__}")
+        return out
+
+    # -- JSON (de)serialisation -------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON form; ``from_dict`` round-trips it exactly."""
+        return {
+            "name": self.name,
+            "background_requests": self.background_requests,
+            "arrival_span": self.arrival_span,
+            "audit_cadence": self.audit_cadence,
+            "failures": _config_dict(self.failures),
+            "policy": _config_dict(self.policy),
+            "breaker": _config_dict(self.breaker),
+            "phases": [
+                {
+                    "name": phase.name,
+                    "duration": phase.duration,
+                    "events": [
+                        {"kind": event.kind, **asdict(event)}
+                        for event in phase.events
+                    ],
+                }
+                for phase in self.phases
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ChaosScenario":
+        """Build a scenario from its JSON form, validating every field."""
+        try:
+            phases = []
+            for phase_data in data["phases"]:
+                events = []
+                for event_data in phase_data.get("events", []):
+                    body = dict(event_data)
+                    kind = body.pop("kind")
+                    if kind not in EVENT_KINDS:
+                        raise ValidationError(
+                            f"unknown event kind {kind!r}; choose from "
+                            f"{sorted(EVENT_KINDS)}"
+                        )
+                    event_cls = EVENT_KINDS[kind]
+                    if "cloudlets" in body:
+                        body["cloudlets"] = tuple(body["cloudlets"])
+                    events.append(event_cls(**body))
+                phases.append(
+                    Phase(
+                        name=phase_data["name"],
+                        duration=phase_data["duration"],
+                        events=tuple(events),
+                    )
+                )
+            return cls(
+                name=data["name"],
+                phases=tuple(phases),
+                background_requests=data.get("background_requests", 16),
+                arrival_span=data.get("arrival_span", 0.5),
+                failures=FailureConfig(**data.get("failures", {})),
+                policy=RepairPolicy(**data.get("policy", {})),
+                breaker=BreakerPolicy(**data.get("breaker", {})),
+                audit_cadence=data.get("audit_cadence", 50.0),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"malformed scenario document: {exc}") from exc
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def _config_dict(config) -> dict:
+    """Dataclass -> dict with non-JSON ``inf`` values dropped (the
+    dataclass defaults restore them on load)."""
+    out = {}
+    for f in fields(config):
+        value = getattr(config, f.name)
+        if isinstance(value, float) and math.isinf(value):
+            continue
+        out[f.name] = value
+    return out
+
+
+def load_scenario(path: str | Path) -> ChaosScenario:
+    """Load a scenario from a JSON file."""
+    return ChaosScenario.from_dict(json.loads(Path(path).read_text()))
+
+
+# -- stock scenarios ------------------------------------------------------------
+def _soak_scenario() -> ChaosScenario:
+    """The acceptance campaign: rolling outages + flapping + a storm and a
+    flash crowd, over >= 10k simulated seconds."""
+    return ChaosScenario(
+        name="soak",
+        background_requests=12,
+        arrival_span=0.25,
+        audit_cadence=50.0,
+        failures=FailureConfig(
+            instance_mttr=400.0, instance_acceleration=1.0, cloudlet_mtbf=math.inf
+        ),
+        policy=RepairPolicy(
+            max_attempts=4,
+            repair_delay=5.0,
+            backoff=40.0,
+            backoff_factor=2.0,
+            max_delay=400.0,
+        ),
+        breaker=BreakerPolicy(
+            failure_threshold=3,
+            cooldown=300.0,
+            probe_successes=2,
+            shed_factor=0.97,
+        ),
+        phases=(
+            Phase("calm", duration=2000.0),
+            Phase(
+                "rolling-blackout",
+                duration=3000.0,
+                events=(
+                    RollingOutage(at=200.0, targets=4, outage=1200.0, stagger=400.0),
+                    LoadSurge(at=600.0, duration=600.0, requests=6),
+                ),
+            ),
+            Phase(
+                "flapping",
+                duration=3000.0,
+                events=(
+                    FlappingCloudlet(at=200.0, targets=2, down=60.0, up=90.0, cycles=6),
+                    FailureStorm(at=1800.0, fraction=0.35),
+                ),
+            ),
+            Phase("recovery", duration=2200.0),
+        ),
+    )
+
+
+def _quick_scenario() -> ChaosScenario:
+    """A CI-sized campaign exercising all four event kinds in minutes of
+    simulated time (seconds of wall clock)."""
+    return ChaosScenario(
+        name="quick",
+        background_requests=6,
+        arrival_span=0.3,
+        audit_cadence=10.0,
+        failures=FailureConfig(
+            instance_mttr=60.0, instance_acceleration=1.0, cloudlet_mtbf=math.inf
+        ),
+        policy=RepairPolicy(
+            max_attempts=3,
+            repair_delay=1.0,
+            backoff=5.0,
+            backoff_factor=2.0,
+            max_delay=40.0,
+        ),
+        breaker=BreakerPolicy(
+            failure_threshold=2, cooldown=40.0, probe_successes=1, shed_factor=0.97
+        ),
+        phases=(
+            Phase("calm", duration=120.0),
+            Phase(
+                "assault",
+                duration=300.0,
+                events=(
+                    RollingOutage(at=20.0, targets=3, outage=120.0, stagger=40.0),
+                    FlappingCloudlet(at=60.0, targets=1, down=8.0, up=10.0, cycles=4),
+                    FailureStorm(at=200.0, fraction=0.4),
+                    LoadSurge(at=100.0, duration=80.0, requests=4),
+                ),
+            ),
+            Phase("recovery", duration=180.0),
+        ),
+    )
+
+
+def builtin_scenarios() -> dict[str, ChaosScenario]:
+    """The stock scenario registry shared by the CLI, bench, and CI."""
+    return {"quick": _quick_scenario(), "soak": _soak_scenario()}

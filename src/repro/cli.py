@@ -153,6 +153,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", choices=sorted(ALGORITHMS), default="fallback"
     )
 
+    chaos = sub.add_parser(
+        "chaos", help="scripted chaos campaign with breaker + invariant audits"
+    )
+    chaos.add_argument(
+        "--scenario",
+        default="soak",
+        metavar="NAME|PATH",
+        help="builtin scenario name (quick, soak) or path to a scenario JSON",
+    )
+    chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorthand for --scenario quick (the CI-sized campaign)",
+    )
+    chaos.add_argument("--seed", type=int, default=1, help="root RNG seed")
+    chaos.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the campaign report (repro-bench/1 JSON)",
+    )
+    chaos.add_argument(
+        "--dump",
+        metavar="PATH",
+        help="where the invariant auditor writes its forensic dump on violation",
+    )
+
     joint = sub.add_parser(
         "joint", help="sequential vs clairvoyant-joint SLO comparison"
     )
@@ -234,6 +260,20 @@ def main(argv: Sequence[str] | None = None) -> int:
                 title=f"price of sequential admission ({args.algorithm}, seed {args.seed})",
             )
         )
+    elif args.command == "chaos":
+        from repro.chaos import render_dashboard, run_chaos_campaign
+
+        scenario = "quick" if args.quick else args.scenario
+        report = run_chaos_campaign(
+            scenario, seed=args.seed, dump_path=args.dump
+        )
+        print(render_dashboard(report))
+        if args.json:
+            import json as _json
+
+            with open(args.json, "w") as handle:
+                _json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            print(f"\nwrote {args.json}")
     elif args.command == "resilient":
         report = run_fault_scenario(
             args.scenario,

@@ -80,6 +80,24 @@ def run_fault_scenario(
     )
 
 
+def run_chaos_campaign(
+    scenario: str = "quick",
+    settings: ExperimentSettings | None = None,
+    rng: RandomState = 0,
+):
+    """Run one scripted chaos campaign (see :mod:`repro.chaos`).
+
+    Thin experiment-layer delegate so campaign runs sit next to the fault
+    scenarios in notebooks and sweeps; the chaos package is imported
+    lazily to keep this module's import graph acyclic.  Accepts a builtin
+    scenario name, a scenario-JSON path, or a
+    :class:`~repro.chaos.scenario.ChaosScenario`.
+    """
+    from repro.chaos.campaign import run_chaos_campaign as _run
+
+    return _run(scenario, settings=settings or RESILIENT_SETTINGS, seed=rng)
+
+
 def run_outage_sweep(
     algorithm: AugmentationAlgorithm,
     mtbfs: list[float] = (5.0, 10.0, 20.0),

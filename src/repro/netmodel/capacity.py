@@ -215,6 +215,48 @@ class CapacityLedger:
         """Copy of the allocation journal, in allocation order."""
         return list(self._journal)
 
+    # -- auditing -------------------------------------------------------------
+    def derived_used(self) -> dict[int, float]:
+        """Re-derive per-node occupancy as the in-order fold of the journal.
+
+        This is the auditor's entry point: it recomputes what ``used(v)``
+        *should* be from the journal alone, without touching the cached
+        sums.  Because :meth:`_recompute` keeps the cache equal to exactly
+        this fold, a healthy ledger satisfies ``derived_used()[v] ==
+        used(v)`` **byte-exactly** (``==`` on floats, no tolerance) for
+        every node -- any drift means the cache and the journal disagree,
+        i.e. a bookkeeping bug.
+        """
+        derived = {v: 0.0 for v in self._initial}
+        for alloc in self._journal:
+            derived[alloc.node] += alloc.amount
+        return derived
+
+    def audit_cache(self) -> dict[int, tuple[float, float]]:
+        """Nodes where the cached ``used`` diverges from :meth:`derived_used`.
+
+        Returns ``{node: (cached, derived)}``; empty on a healthy ledger.
+        The comparison is exact (bit-level), not tolerance-based.
+        """
+        derived = self.derived_used()
+        return {
+            v: (self._used[v], derived[v])
+            for v in self._initial
+            if self._used[v] != derived[v]
+        }
+
+    def journal_tags(self) -> dict[str, list[Allocation]]:
+        """The journal grouped by tag, in allocation order within each tag.
+
+        Used by invariant auditors to reconcile the ledger against an
+        independent record of who should be holding capacity (live chain
+        instances, outage blockades, ...).
+        """
+        by_tag: dict[str, list[Allocation]] = {}
+        for alloc in self._journal:
+            by_tag.setdefault(alloc.tag, []).append(alloc)
+        return by_tag
+
     def usage_ratio(self, v: int) -> float:
         """``used / initial`` at node ``v``; > 1.0 indicates a violation.
 

@@ -164,6 +164,34 @@ def simulate_chain_reliability(
     return SimulationEstimate(reliability=reliability, std_error=std_error, trials=trials)
 
 
+def reliability_of_live_counts(
+    reliabilities: Sequence[float], counts: Sequence[int]
+) -> float:
+    """Eq. 1 evaluated on per-position live instance counts.
+
+    ``prod_i (1 - (1 - r_i)^{n_i})`` with ``n_i = counts[i]``; 0.0 as soon
+    as any position has no live instance.  This is an *independent*
+    implementation of :meth:`repro.resilience.state.CommittedChain.live_reliability`
+    kept in the model layer on purpose: the chaos invariant auditor
+    re-derives every chain's achieved reliability through this function and
+    requires exact (``==``) agreement with the runtime's own bookkeeping,
+    so a bug in either copy of the algebra trips the audit instead of
+    passing silently.
+    """
+    if len(reliabilities) != len(counts):
+        raise ValidationError(
+            f"got {len(reliabilities)} reliabilities for {len(counts)} positions"
+        )
+    reliability = 1.0
+    for r, n in zip(reliabilities, counts):
+        if n < 0:
+            raise ValidationError(f"live count must be >= 0, got {n}")
+        if n == 0:
+            return 0.0
+        reliability *= 1.0 - (1.0 - r) ** n
+    return reliability
+
+
 def diversity_score(
     problem: AugmentationProblem, solution: AugmentationSolution
 ) -> list[float]:

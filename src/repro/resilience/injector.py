@@ -143,6 +143,7 @@ class FailureInjector:
         first outages.  A no-op when ``cloudlet_mtbf`` is infinite."""
         if math.isinf(self.config.cloudlet_mtbf):
             return
+        batch: list[tuple[float, tuple]] = []
         for v in sorted(self.network.cloudlets):
             process = CloudletProcess(
                 cloudlet=v,
@@ -150,9 +151,14 @@ class FailureInjector:
                 mttr=self.config.cloudlet_mttr,
             )
             self._processes[v] = process
-            self.queue.schedule(
-                self.queue.now + process.sample_uptime(self.rng), (CLOUDLET_FAIL, v)
+            # draw in sorted-cloudlet order (the stream position each id
+            # consumes is fixed), then schedule the whole batch through the
+            # stable (time, kind, id) order so same-timestamp ties replay
+            # identically across processes and hash seeds
+            batch.append(
+                (self.queue.now + process.sample_uptime(self.rng), (CLOUDLET_FAIL, v))
             )
+        self.queue.schedule_batch(batch)
 
     def register(self, chain: CommittedChain, now: float) -> None:
         """Track a committed chain and schedule failures for its instances."""
@@ -171,13 +177,15 @@ class FailureInjector:
         """
         if self.config.instance_acceleration == 0:
             return
+        batch: list[tuple[float, tuple]] = []
         for inst in instances:
             if inst.reliability >= 1.0:
                 continue  # perfect instances never fail
             mttf, _ = rates_for_reliability(inst.reliability, self.config.instance_mttr)
             mttf /= self.config.instance_acceleration
             t_fail = now + float(self.rng.exponential(mttf))
-            self.queue.schedule(t_fail, (INSTANCE_FAIL, chain.name, inst.tag))
+            batch.append((t_fail, (INSTANCE_FAIL, chain.name, inst.tag)))
+        self.queue.schedule_batch(batch)
 
     # -- event application ------------------------------------------------------
     def handles(self, kind: str) -> bool:
@@ -195,24 +203,32 @@ class FailureInjector:
             return self._on_cloudlet_recover(payload[1])
         raise ValidationError(f"unknown injector event kind {kind!r}")
 
+    def fail_instance(self, chain: CommittedChain, inst: LiveInstance) -> bool:
+        """Kill one live instance and release its allocation.
+
+        The primitive behind both scheduled instance-failure events and
+        scripted chaos storms.  Returns whether the instance was live (a
+        dead instance is a no-op, e.g. one already lost to an outage).
+        """
+        if not inst.alive:
+            return False
+        inst.alive = False
+        self.ledger.release_tag(inst.tag)
+        self.counts[INSTANCE_FAIL] += 1
+        return True
+
     def _on_instance_fail(self, chain_name: str, tag: str) -> list[CommittedChain]:
         chain = self._chains.get(chain_name)
         if chain is None:
             return []
         for inst in chain.instances:
             if inst.tag == tag:
-                if not inst.alive:
-                    return []  # already killed (e.g. by an earlier outage)
-                inst.alive = False
-                self.ledger.release_tag(tag)
-                self.counts[INSTANCE_FAIL] += 1
-                return [chain]
+                return [chain] if self.fail_instance(chain, inst) else []
         return []
 
-    def _on_cloudlet_fail(self, v: int) -> list[CommittedChain]:
-        process = self._processes[v]
-        if not process.up:
-            return []
+    def _apply_outage(self, process: CloudletProcess) -> list[CommittedChain]:
+        """Take a cloudlet down: kill hosted instances, blockade capacity."""
+        v = process.cloudlet
         process.up = False
         self.counts[CLOUDLET_FAIL] += 1
         affected = []
@@ -227,6 +243,19 @@ class FailureInjector:
         residual = self.ledger.residual(v)
         if residual > 0:
             self.ledger.allocate(v, residual, tag=f"outage:{v}")
+        return affected
+
+    def _apply_recovery(self, process: CloudletProcess) -> None:
+        """Bring a cloudlet back: lift the blockade (lost instances stay lost)."""
+        process.up = True
+        self.counts[CLOUDLET_RECOVER] += 1
+        self.ledger.release_tag(f"outage:{process.cloudlet}")
+
+    def _on_cloudlet_fail(self, v: int) -> list[CommittedChain]:
+        process = self._processes[v]
+        if not process.up:
+            return []
+        affected = self._apply_outage(process)
         now = self.queue.now
         self.queue.schedule(
             now + process.sample_downtime(self.rng), (CLOUDLET_RECOVER, v)
@@ -237,11 +266,39 @@ class FailureInjector:
         process = self._processes[v]
         if process.up:
             return []
-        process.up = True
-        self.counts[CLOUDLET_RECOVER] += 1
-        self.ledger.release_tag(f"outage:{v}")
+        self._apply_recovery(process)
         now = self.queue.now
         self.queue.schedule(now + process.sample_uptime(self.rng), (CLOUDLET_FAIL, v))
         # recovery changes no chain's live set (lost instances stay lost);
         # it only returns capacity that pending repairs can now use
         return []
+
+    # -- scripted control (chaos campaigns) -------------------------------------
+    def force_outage(self, v: int) -> list[CommittedChain]:
+        """Scripted outage of cloudlet ``v``: apply the blackout *now*
+        without scheduling a sampled recovery -- the scripting layer owns
+        the timing.  No-op (empty list) if the cloudlet is already down.
+
+        Scripted and sampled outage processes must not share a cloudlet
+        (:class:`~repro.chaos.scenario.ChaosScenario` validates that
+        ``cloudlet_mtbf`` is infinite when scripted outage events exist),
+        otherwise a forced recovery would silently cancel the natural
+        process's next cycle.
+        """
+        if v not in self.network.cloudlets:
+            raise ValidationError(f"unknown cloudlet {v!r}")
+        process = self._processes.get(v)
+        if process is None:
+            process = CloudletProcess(cloudlet=v, mtbf=math.inf, mttr=1.0)
+            self._processes[v] = process
+        if not process.up:
+            return []
+        return self._apply_outage(process)
+
+    def force_recovery(self, v: int) -> bool:
+        """Scripted recovery of cloudlet ``v``; returns whether it was down."""
+        process = self._processes.get(v)
+        if process is None or process.up:
+            return False
+        self._apply_recovery(process)
+        return True

@@ -147,6 +147,32 @@ class ResilienceReport:
             return 0.0
         return sum(self.mttr_samples) / len(self.mttr_samples)
 
+    def mttr_percentiles(
+        self, quantiles: tuple[float, ...] = (0.5, 0.9, 0.99)
+    ) -> dict[str, float]:
+        """Breach-to-restoration delay percentiles, e.g. ``{"p50": ...}``.
+
+        Linear interpolation between order statistics (the same convention
+        as ``numpy.percentile``'s default), implemented here so reports
+        stay pure-python-serialisable and byte-deterministic.  Empty
+        samples map every quantile to 0.0.
+        """
+        out: dict[str, float] = {}
+        ordered = sorted(self.mttr_samples)
+        for q in quantiles:
+            if not (0.0 <= q <= 1.0):
+                raise ValidationError(f"quantile must be in [0, 1], got {q}")
+            label = f"p{q * 100:g}"
+            if not ordered:
+                out[label] = 0.0
+                continue
+            rank = q * (len(ordered) - 1)
+            low = int(rank)
+            high = min(low + 1, len(ordered) - 1)
+            frac = rank - low
+            out[label] = ordered[low] * (1.0 - frac) + ordered[high] * frac
+        return out
+
     def summary_rows(self) -> list[list[object]]:
         """``[metric, value]`` rows for the CLI / benchmark tables."""
         rows: list[list[object]] = [
@@ -227,6 +253,22 @@ class MetricsTracker:
 
     def on_invariant_violation(self) -> None:
         self._report.invariant_violations += 1
+
+    @property
+    def report(self) -> ResilienceReport:
+        """The report under construction (finalized in place by
+        :meth:`finalize`).  Extensions -- the chaos campaign tracker --
+        read commit-time outcomes and timelines from here mid-run."""
+        return self._report
+
+    def timeline(self, name: str) -> ChainTimeline | None:
+        """The tracked SLO timeline of one chain (None if never committed).
+
+        Exposed for the chaos invariant auditor, which cross-checks every
+        timeline's recorded ``slo_ok`` against an independently re-derived
+        reliability after each audited event.
+        """
+        return self._report.timelines.get(name)
 
     # -- finalisation -----------------------------------------------------------
     def finalize(

@@ -36,6 +36,7 @@ so repairs blocked by an outage succeed once capacity recovers.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -70,12 +71,26 @@ class RepairPolicy:
     backoff_factor:
         Multiplier applied per further attempt (exponential backoff):
         retry ``n`` fires after ``backoff * factor**(n-1)``.
+    max_delay:
+        Ceiling on any retry delay (jitter included).  The default
+        ``math.inf`` keeps pure exponential growth; long-running chaos
+        campaigns cap it so a chain that has been retrying for hours still
+        probes at a bounded cadence.
+    jitter:
+        Relative jitter fraction in ``[0, 1)``: with a generator supplied
+        to :meth:`retry_delay`, the pre-cap delay is scaled by a factor
+        drawn uniformly from ``[1 - jitter, 1 + jitter]``.  De-synchronises
+        the retry herd after a mass failure (every chain degraded by one
+        outage would otherwise retry at identical instants).  0 draws
+        nothing -- byte-identical to the pre-jitter behaviour.
     """
 
     max_attempts: int = 4
     repair_delay: float = 0.05
     backoff: float = 0.25
     backoff_factor: float = 2.0
+    max_delay: float = math.inf
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -90,10 +105,32 @@ class RepairPolicy:
             raise ValidationError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
             )
+        if self.max_delay <= 0:
+            raise ValidationError(f"max_delay must be positive, got {self.max_delay}")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValidationError(f"jitter must be in [0, 1), got {self.jitter}")
 
-    def retry_delay(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (1-based)."""
-        return self.backoff * self.backoff_factor ** max(0, attempt - 1)
+    def retry_delay(
+        self, attempt: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        The deterministic schedule ``backoff * factor**(n-1)`` is monotone
+        non-decreasing in ``attempt`` and capped at ``max_delay``.  With
+        ``jitter > 0`` *and* a generator, the delay is additionally scaled
+        by a uniform ``[1 - jitter, 1 + jitter]`` factor before the cap is
+        re-applied; with ``jitter == 0`` the generator is never consulted,
+        so existing seeded streams replay bit-identically.
+        """
+        base = min(
+            self.backoff * self.backoff_factor ** max(0, attempt - 1), self.max_delay
+        )
+        if self.jitter > 0.0 and rng is not None:
+            base = min(
+                base * (1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))),
+                self.max_delay,
+            )
+        return base
 
 
 @dataclass(frozen=True)

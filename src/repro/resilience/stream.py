@@ -251,7 +251,9 @@ class ResilientStreamController:
         self.metrics.on_state(chain.name, now, chain.meets_slo())
         if outcome.retriable:
             self._schedule_repair(
-                chain, now, self.config.policy.retry_delay(chain.repair_attempts)
+                chain,
+                now,
+                self.config.policy.retry_delay(chain.repair_attempts, rng=self.rng),
             )
 
     def _rearm_repairs(self, now: float) -> None:
@@ -264,51 +266,65 @@ class ResilientStreamController:
             self._schedule_repair(chain, now, self.config.policy.repair_delay)
 
     # -- the event loop ---------------------------------------------------------
-    def run(self, num_requests: int) -> ResilienceReport:
-        span = self.config.horizon * self.config.arrival_span
-        for index in range(num_requests):
-            arrival = span * (index + 1) / max(1, num_requests)
-            self.queue.schedule(arrival, (ARRIVAL, index))
-        self.injector.start()
+    #
+    # The loop is split into overridable pieces so extensions (notably the
+    # chaos campaign controller in :mod:`repro.chaos.campaign`) can inject
+    # their own event kinds and per-event bookkeeping without duplicating
+    # the arrival/failure/repair plumbing.
 
-        for event in self.queue.drain_until(self.config.horizon):
-            payload = event.payload
-            kind = payload[0]
-            now = event.time
+    def _on_arrival(self, label: object, now: float) -> None:
+        """Handle one ARRIVAL event (extension hook: degraded admission)."""
+        request = make_request(
+            self.settings, self.catalog, self.rng, name=f"req-{label}"
+        )
+        self._commit_request(request, now)
 
-            if kind == ARRIVAL:
-                request = make_request(
-                    self.settings, self.catalog, self.rng, name=f"req-{payload[1]}"
-                )
-                self._commit_request(request, now)
-            elif self.injector.handles(kind):
-                affected = self.injector.handle(payload)
-                for chain in affected:
-                    slo_ok = chain.meets_slo()
-                    self.metrics.on_state(chain.name, now, slo_ok)
-                    if (
-                        not slo_ok
-                        and chain.repair_attempts < self.config.policy.max_attempts
-                    ):
-                        self._schedule_repair(
-                            chain, now, self.config.policy.repair_delay
-                        )
-                if kind == CLOUDLET_RECOVER:
-                    self._rearm_repairs(now)
-            elif kind == REPAIR_RETRY:
-                self._pending_repairs.discard(payload[1])
-                try:
-                    chain = self.injector.chain(payload[1])
-                except KeyError:
-                    continue
-                if not chain.meets_slo():
-                    self._attempt_repair(chain, now)
-            else:
-                raise ValidationError(f"unknown stream event kind {kind!r}")
+    def _on_failures(self, affected: list[CommittedChain], now: float) -> None:
+        """SLO re-evaluation + repair scheduling after failure events.
 
-            if self.ledger.violations():
-                self.metrics.on_invariant_violation()
+        Shared by the injector's own event kinds and any scripted failure
+        source (chaos storms, forced outages) an extension applies.
+        """
+        for chain in affected:
+            slo_ok = chain.meets_slo()
+            self.metrics.on_state(chain.name, now, slo_ok)
+            if not slo_ok and chain.repair_attempts < self.config.policy.max_attempts:
+                self._schedule_repair(chain, now, self.config.policy.repair_delay)
 
+    def _handle_extra(self, kind: str, payload: tuple, now: float) -> bool:
+        """Extension hook for event kinds the base stream does not own.
+
+        Return True when the event was handled; the base implementation
+        knows none, so an unknown kind raises in :meth:`_dispatch`.
+        """
+        return False
+
+    def _after_event(self, now: float) -> None:
+        """Extension hook invoked after every applied event (auditing)."""
+
+    def _dispatch(self, kind: str, payload: tuple, now: float) -> None:
+        if kind == ARRIVAL:
+            self._on_arrival(payload[1], now)
+        elif self.injector.handles(kind):
+            affected = self.injector.handle(payload)
+            self._on_failures(affected, now)
+            if kind == CLOUDLET_RECOVER:
+                self._rearm_repairs(now)
+        elif kind == REPAIR_RETRY:
+            self._pending_repairs.discard(payload[1])
+            try:
+                chain = self.injector.chain(payload[1])
+            except KeyError:
+                return
+            if not chain.meets_slo():
+                self._attempt_repair(chain, now)
+        elif not self._handle_extra(kind, payload, now):
+            raise ValidationError(f"unknown stream event kind {kind!r}")
+
+    def _before_run(self) -> None:
+        """Extension hook: schedule extra events before the loop starts."""
+
+    def _finalize(self) -> ResilienceReport:
         used = sum(self.ledger.used(v) for v in self.ledger.nodes)
         total = sum(self.ledger.initial(v) for v in self.ledger.nodes)
         return self.metrics.finalize(
@@ -316,6 +332,23 @@ class ResilientStreamController:
             event_counts=dict(self.injector.counts),
             final_utilisation=used / total if total > 0 else 0.0,
         )
+
+    def run(self, num_requests: int) -> ResilienceReport:
+        span = self.config.horizon * self.config.arrival_span
+        for index in range(num_requests):
+            arrival = span * (index + 1) / max(1, num_requests)
+            self.queue.schedule(arrival, (ARRIVAL, index))
+        self.injector.start()
+        self._before_run()
+
+        for event in self.queue.drain_until(self.config.horizon):
+            payload = event.payload
+            self._dispatch(payload[0], payload, event.time)
+            if self.ledger.violations():
+                self.metrics.on_invariant_violation()
+            self._after_event(event.time)
+
+        return self._finalize()
 
 
 def run_resilient_stream(

@@ -26,7 +26,7 @@ availability converges to the static ``prod_i R_i`` -- a second,
 time-domain validation of the reliability algebra.
 """
 
-from repro.simulation.engine import EventQueue, ScheduledEvent
+from repro.simulation.engine import EventQueue, ScheduledEvent, stable_event_key
 from repro.simulation.lifecycle import (
     CloudletProcess,
     InstanceProcess,
@@ -43,4 +43,5 @@ __all__ = [
     "SimulationReport",
     "rates_for_reliability",
     "simulate_solution",
+    "stable_event_key",
 ]

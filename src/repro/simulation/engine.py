@@ -11,9 +11,28 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.util.errors import ValidationError
+
+
+def stable_event_key(time: float, payload: Any) -> tuple:
+    """Total order for batches of events scheduled together.
+
+    Ties at the same timestamp are broken by the payload's event kind and
+    then by the repr of its identifying fields -- a pure function of the
+    event's *content*, never of dict/set iteration order or the Python
+    hash seed.  Scheduling a batch in this order makes the queue's FIFO
+    tie-break (insertion sequence) reproducible bit-for-bit across
+    processes and ``PYTHONHASHSEED`` values.
+    """
+    if isinstance(payload, tuple) and payload:
+        kind = str(payload[0])
+        rest = tuple(repr(part) for part in payload[1:])
+    else:  # pragma: no cover - payloads are tuples everywhere in this repo
+        kind = type(payload).__name__
+        rest = (repr(payload),)
+    return (time, kind, rest)
 
 
 @dataclass(order=True, frozen=True)
@@ -58,6 +77,20 @@ class EventQueue:
         event = ScheduledEvent(time, next(self._counter), payload)
         heapq.heappush(self._heap, event)
         return event
+
+    def schedule_batch(
+        self, events: Iterable[tuple[float, Any]]
+    ) -> list[ScheduledEvent]:
+        """Schedule several ``(time, payload)`` pairs in a stable order.
+
+        The batch is sorted by :func:`stable_event_key` before insertion,
+        so events sharing a timestamp acquire a deterministic FIFO order
+        regardless of the order the caller produced them in (e.g. from a
+        dict or set).  Use this whenever more than one event is scheduled
+        at once and any two could share a timestamp.
+        """
+        ordered = sorted(events, key=lambda ev: stable_event_key(ev[0], ev[1]))
+        return [self.schedule(time, payload) for time, payload in ordered]
 
     def pop(self) -> ScheduledEvent:
         """Remove and return the earliest event, advancing ``now``."""

@@ -51,6 +51,22 @@ class SolveTimeoutError(ReproError):
     """
 
 
+class AuditViolationError(ReproError):
+    """The continuous invariant auditor found corrupted runtime state.
+
+    Raised by :class:`repro.chaos.audit.InvariantAuditor` when a scheduled
+    audit detects a discrepancy between the capacity ledger's cached
+    occupancy and its journal, an unreconciled allocation tag, or a chain
+    whose recorded reliability disagrees with an independent re-derivation.
+    Carries the forensic dump in :attr:`dump` -- enough context to diagnose
+    the corruption without re-running the campaign.
+    """
+
+    def __init__(self, message: str, dump: dict):
+        self.dump = dict(dump)
+        super().__init__(message)
+
+
 class FallbackExhaustedError(ReproError):
     """Every tier of a solver fallback chain failed or timed out.
 

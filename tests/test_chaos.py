@@ -1,0 +1,570 @@
+"""Unit tests for the chaos package: scenario DSL, breaker, auditor, report."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import AugmentationAlgorithm
+from repro.algorithms.fallback import FallbackAlgorithm, FallbackTier
+from repro.chaos.audit import InvariantAuditor
+from repro.chaos.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerGuardedSolver,
+    BreakerPolicy,
+    CircuitBreaker,
+    default_chaos_chain,
+)
+from repro.chaos.campaign import resolve_scenario
+from repro.chaos.report import CampaignTracker, PhaseStats
+from repro.chaos.scenario import (
+    ARRIVAL,
+    AUDIT,
+    CHAOS_DOWN,
+    CHAOS_UP,
+    PHASE_START,
+    STORM,
+    ChaosScenario,
+    FailureStorm,
+    FlappingCloudlet,
+    LoadSurge,
+    Phase,
+    RollingOutage,
+    builtin_scenarios,
+    load_scenario,
+)
+from repro.core.solution import AugmentationResult, AugmentationSolution
+from repro.netmodel.capacity import CapacityLedger
+from repro.netmodel.graph import MECNetwork
+from repro.netmodel.vnf import Request, ServiceFunctionChain, VNFCatalog, VNFType
+from repro.resilience.injector import FailureConfig, FailureInjector
+from repro.resilience.metrics import MetricsTracker
+from repro.resilience.state import CommittedChain, LiveInstance
+from repro.simulation.engine import EventQueue
+from repro.topology.families import line_topology
+from repro.util.errors import (
+    AuditViolationError,
+    FallbackExhaustedError,
+    ValidationError,
+)
+
+
+# -- scenario DSL ---------------------------------------------------------------
+class TestScenarioValidation:
+    def test_needs_phases(self):
+        with pytest.raises(ValidationError):
+            ChaosScenario(name="empty", phases=())
+
+    def test_event_outside_phase_rejected(self):
+        with pytest.raises(ValidationError):
+            Phase("p", duration=10.0, events=(FailureStorm(at=11.0),))
+
+    def test_storm_fraction_bounds(self):
+        with pytest.raises(ValidationError):
+            FailureStorm(at=0.0, fraction=0.0)
+        with pytest.raises(ValidationError):
+            FailureStorm(at=0.0, fraction=1.5)
+
+    def test_explicit_cloudlets_must_match_targets(self):
+        with pytest.raises(ValidationError):
+            RollingOutage(at=0.0, targets=2, cloudlets=(1,))
+
+    def test_scripted_outages_require_infinite_mtbf(self):
+        phases = (Phase("p", 100.0, events=(RollingOutage(at=0.0),)),)
+        with pytest.raises(ValidationError, match="cloudlet_mtbf"):
+            ChaosScenario(
+                name="bad",
+                phases=phases,
+                failures=FailureConfig(cloudlet_mtbf=10.0),
+            )
+        # without scripted cloudlet events a finite MTBF is fine
+        ChaosScenario(
+            name="ok",
+            phases=(Phase("p", 100.0, events=(FailureStorm(at=1.0),)),),
+            failures=FailureConfig(cloudlet_mtbf=10.0),
+        )
+
+    def test_horizon_is_sum_of_phases(self):
+        scenario = ChaosScenario(
+            name="s", phases=(Phase("a", 10.0), Phase("b", 32.0))
+        )
+        assert scenario.horizon == 42.0
+        assert scenario.phase_starts() == [0.0, 10.0]
+
+
+class TestScenarioJson:
+    @pytest.mark.parametrize("name", ["quick", "soak"])
+    def test_builtin_round_trip(self, name):
+        scenario = builtin_scenarios()[name]
+        clone = ChaosScenario.from_dict(scenario.to_dict())
+        assert clone == scenario
+
+    def test_json_text_round_trip(self, tmp_path):
+        scenario = builtin_scenarios()["quick"]
+        path = tmp_path / "scenario.json"
+        path.write_text(scenario.to_json())
+        assert load_scenario(path) == scenario
+
+    def test_unknown_kind_rejected(self):
+        doc = builtin_scenarios()["quick"].to_dict()
+        doc["phases"][0]["events"] = [{"kind": "meteor", "at": 0.0}]
+        with pytest.raises(ValidationError, match="meteor"):
+            ChaosScenario.from_dict(doc)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(ValidationError):
+            ChaosScenario.from_dict({"name": "x"})
+
+    def test_infinite_mtbf_survives_round_trip(self):
+        scenario = builtin_scenarios()["soak"]
+        # inf is not JSON -- the dict form drops it, the default restores it
+        text = json.dumps(scenario.to_dict(), allow_nan=False)
+        clone = ChaosScenario.from_dict(json.loads(text))
+        assert math.isinf(clone.failures.cloudlet_mtbf)
+
+
+class TestScenarioExpand:
+    def scenario(self) -> ChaosScenario:
+        return ChaosScenario(
+            name="t",
+            audit_cadence=0.0,
+            phases=(
+                Phase(
+                    "only",
+                    duration=1000.0,
+                    events=(
+                        RollingOutage(at=10.0, targets=2, outage=100.0, stagger=40.0),
+                        FlappingCloudlet(at=50.0, targets=1, down=5.0, up=5.0, cycles=2),
+                        FailureStorm(at=300.0, fraction=0.5),
+                        LoadSurge(at=400.0, duration=100.0, requests=4),
+                    ),
+                ),
+            ),
+        )
+
+    def test_all_kinds_expand(self):
+        events = self.scenario().expand([3, 1, 7])
+        kinds = {payload[0] for _, payload in events}
+        assert kinds == {PHASE_START, CHAOS_DOWN, CHAOS_UP, STORM, ARRIVAL}
+
+    def test_rolling_outage_overlaps(self):
+        events = self.scenario().expand([3, 1, 7])
+        # outage targets are the first two cursor picks: cloudlets 1, 3
+        downs = sorted(t for t, p in events if p[0] == CHAOS_DOWN and p[1] in (1, 3))
+        ups = sorted(t for t, p in events if p[0] == CHAOS_UP and p[1] in (1, 3))
+        # second blackout starts (t=50) before the first ends (t=110)
+        assert downs == [10.0, 50.0]
+        assert ups == [110.0, 150.0]
+
+    def test_targets_rotate_deterministically(self):
+        a = self.scenario().expand([3, 1, 7])
+        b = self.scenario().expand([3, 1, 7])
+        assert a == b
+        outage_targets = [
+            p[1] for _, p in a if p[0] == CHAOS_DOWN and p[1] in (1, 3)
+        ]
+        flap_targets = {p[1] for _, p in a if p[0] == CHAOS_DOWN} - {1, 3}
+        assert outage_targets == [1, 3]  # sorted pool, cursor from 0
+        assert flap_targets == {7}  # cursor advanced past the outage targets
+
+    def test_surge_arrivals_labelled_uniquely(self):
+        events = self.scenario().expand([0, 1])
+        labels = [p[1] for _, p in events if p[0] == ARRIVAL]
+        assert len(labels) == 4
+        assert len(set(labels)) == 4
+
+    def test_explicit_cloudlets_validated_against_pool(self):
+        scenario = ChaosScenario(
+            name="t",
+            phases=(
+                Phase(
+                    "p",
+                    100.0,
+                    events=(RollingOutage(at=0.0, targets=1, cloudlets=(9,)),),
+                ),
+            ),
+        )
+        with pytest.raises(ValidationError, match="unknown cloudlets"):
+            scenario.expand([0, 1, 2])
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValidationError):
+            self.scenario().expand([])
+
+
+class TestResolveScenario:
+    def test_builtin_names(self):
+        assert resolve_scenario("quick").name == "quick"
+
+    def test_passthrough(self):
+        scenario = builtin_scenarios()["quick"]
+        assert resolve_scenario(scenario) is scenario
+
+    def test_path(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(builtin_scenarios()["quick"].to_json())
+        assert resolve_scenario(str(path)).name == "quick"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError, match="unknown scenario"):
+            resolve_scenario("no-such-scenario")
+
+
+# -- circuit breaker ------------------------------------------------------------
+class _Clock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture
+def clock() -> _Clock:
+    return _Clock()
+
+
+class TestCircuitBreaker:
+    def policy(self, **kw) -> BreakerPolicy:
+        defaults = dict(
+            failure_threshold=3, cooldown=10.0, probe_successes=2, shed_factor=0.9
+        )
+        defaults.update(kw)
+        return BreakerPolicy(**defaults)
+
+    def test_opens_after_threshold(self, clock):
+        breaker = CircuitBreaker(self.policy(), clock)
+        breaker.record_failure("x")
+        breaker.record_failure("x")
+        assert breaker.state == CLOSED
+        breaker.record_failure("x")
+        assert breaker.state == OPEN
+
+    def test_success_resets_failure_streak(self, clock):
+        breaker = CircuitBreaker(self.policy(), clock)
+        breaker.record_failure("x")
+        breaker.record_failure("x")
+        breaker.record_success()
+        breaker.record_failure("x")
+        breaker.record_failure("x")
+        assert breaker.state == CLOSED
+
+    def test_half_open_at_exact_cooldown_boundary(self, clock):
+        breaker = CircuitBreaker(self.policy(), clock)
+        clock.t = 5.0
+        for _ in range(3):
+            breaker.record_failure("x")
+        clock.t = 14.9
+        assert breaker.state == OPEN
+        clock.t = 17.3  # first observation after the boundary...
+        assert breaker.state == HALF_OPEN
+        # ...but the transition is recorded at the boundary itself
+        assert breaker.transitions[-1].time == 15.0
+
+    def test_probe_successes_reclose(self, clock):
+        breaker = CircuitBreaker(self.policy(), clock)
+        for _ in range(3):
+            breaker.record_failure("x")
+        clock.t = 20.0
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens(self, clock):
+        breaker = CircuitBreaker(self.policy(), clock)
+        for _ in range(3):
+            breaker.record_failure("x")
+        clock.t = 20.0
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure("x")
+        assert breaker.state == OPEN
+        # the new cooldown restarts from the probe failure
+        clock.t = 29.0
+        assert breaker.state == OPEN
+        clock.t = 30.0
+        assert breaker.state == HALF_OPEN
+
+    def test_admission_target_sheds_only_when_open(self, clock):
+        breaker = CircuitBreaker(self.policy(), clock)
+        assert breaker.admission_target(0.95) == 0.95
+        for _ in range(3):
+            breaker.record_failure("x")
+        assert breaker.admission_target(0.95) == 0.95 * 0.9
+
+    def test_occupancy_partitions_horizon(self, clock):
+        breaker = CircuitBreaker(self.policy(), clock)
+        clock.t = 4.0
+        for _ in range(3):
+            breaker.record_failure("x")
+        clock.t = 20.0
+        breaker.state  # settle the lazy half-open transition
+        occupancy = breaker.occupancy(20.0)
+        assert occupancy[CLOSED] == 4.0
+        assert occupancy[OPEN] == 10.0
+        assert occupancy[HALF_OPEN] == 6.0
+        assert sum(occupancy.values()) == pytest.approx(20.0)
+
+    def test_state_at_reads_timeline(self, clock):
+        breaker = CircuitBreaker(self.policy(), clock)
+        clock.t = 3.0
+        for _ in range(3):
+            breaker.record_failure("x")
+        assert breaker.state_at(1.0) == CLOSED
+        assert breaker.state_at(3.0) == OPEN
+
+    def test_policy_validation(self):
+        with pytest.raises(ValidationError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValidationError):
+            BreakerPolicy(cooldown=0.0)
+        with pytest.raises(ValidationError):
+            BreakerPolicy(shed_factor=0.0)
+
+
+class _Stub(AugmentationAlgorithm):
+    """Scriptable algorithm: answers, shortfalls, or raises on demand."""
+
+    def __init__(self, name: str, met: bool = True, fail: bool = False):
+        self.name = name
+        self.met = met
+        self.fail = fail
+        self.calls = 0
+
+    def solve(self, problem, rng=None):
+        self.calls += 1
+        if self.fail:
+            raise ValidationError(f"{self.name} scripted failure")
+        return AugmentationResult(
+            algorithm=self.name,
+            solution=AugmentationSolution(placements=()),
+            reliability=0.9,
+            runtime_seconds=0.0,
+            expectation_met=self.met,
+        )
+
+
+class TestBreakerGuardedSolver:
+    def guard(self, clock, primary: _Stub, terminal: _Stub) -> BreakerGuardedSolver:
+        chain = FallbackAlgorithm(
+            [FallbackTier(primary), FallbackTier(terminal)]
+        )
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=2, cooldown=10.0, probe_successes=1),
+            clock,
+        )
+        return BreakerGuardedSolver(chain, breaker)
+
+    def test_healthy_solve_records_success(self, clock):
+        primary, terminal = _Stub("a"), _Stub("b")
+        guard = self.guard(clock, primary, terminal)
+        result = guard.solve(None)
+        assert result.meta["breaker_state"] == CLOSED
+        assert result.meta["fallback_tier"] == 0
+        assert terminal.calls == 0
+
+    def test_shortfall_trips_breaker_and_open_serves_terminal(self, clock):
+        primary, terminal = _Stub("a", met=False), _Stub("b", met=False)
+        guard = self.guard(clock, primary, terminal)
+        guard.solve(None)
+        guard.solve(None)
+        assert guard.breaker.state == OPEN
+        result = guard.solve(None)
+        assert result.meta["breaker_state"] == OPEN
+        assert result.meta["fallback_degraded"] is True
+        assert result.meta["fallback_algorithm"] == "b"
+        # the open serve went straight to the terminal tier
+        assert primary.calls == 2
+
+    def test_tier_failures_before_winner_count_as_failure(self, clock):
+        primary, terminal = _Stub("a", fail=True), _Stub("b")
+        guard = self.guard(clock, primary, terminal)
+        guard.solve(None)
+        guard.solve(None)
+        assert guard.breaker.state == OPEN
+
+    def test_exhausted_chain_recorded_and_reraised(self, clock):
+        primary, terminal = _Stub("a", fail=True), _Stub("b", fail=True)
+        guard = self.guard(clock, primary, terminal)
+        with pytest.raises(FallbackExhaustedError):
+            guard.solve(None)
+        with pytest.raises(FallbackExhaustedError):
+            guard.solve(None)
+        assert guard.breaker.state == OPEN
+
+    def test_probe_success_recloses(self, clock):
+        primary, terminal = _Stub("a", met=False), _Stub("b")
+        guard = self.guard(clock, primary, terminal)
+        guard.solve(None)
+        guard.solve(None)
+        assert guard.breaker.state == OPEN
+        clock.t = 20.0
+        primary.met = True  # incident over
+        result = guard.solve(None)
+        assert result.meta["breaker_state"] == HALF_OPEN
+        assert guard.breaker.state == CLOSED
+
+    def test_default_chaos_chain_has_no_timeouts(self):
+        chain = default_chaos_chain()
+        assert all(tier.timeout is None for tier in chain.tiers)
+
+
+# -- invariant auditor ----------------------------------------------------------
+@pytest.fixture
+def audited():
+    """A small healthy live system plus its auditor."""
+    network = MECNetwork(line_topology(4), {v: 2000.0 for v in range(4)})
+    ledger = CapacityLedger({v: 2000.0 for v in range(4)})
+    queue = EventQueue()
+    injector = FailureInjector(
+        network, ledger, queue, FailureConfig(), np.random.default_rng(0)
+    )
+    metrics = MetricsTracker()
+    catalog = VNFCatalog(
+        [
+            VNFType("fw", demand=200.0, reliability=0.8),
+            VNFType("nat", demand=300.0, reliability=0.85),
+        ]
+    )
+    request = Request(
+        "req-a",
+        ServiceFunctionChain([catalog["fw"], catalog["nat"]]),
+        expectation=0.6,
+    )
+    instances = []
+    for position, func in enumerate(request.chain):
+        for k in range(2):
+            tag = f"inst:req-a#{position}.{k}"
+            ledger.allocate(position, func.demand, tag=tag)
+            instances.append(
+                LiveInstance(
+                    position=position,
+                    cloudlet=position,
+                    demand=func.demand,
+                    reliability=func.reliability,
+                    tag=tag,
+                )
+            )
+    chain = CommittedChain(
+        request=request, instances=instances, anchors=(0, 1), met_at_commit=True
+    )
+    injector.register(chain, 0.0)
+    metrics.on_commit("req-a", 0.0, chain.meets_slo())
+    auditor = InvariantAuditor(ledger, injector, metrics)
+    return ledger, injector, metrics, chain, auditor
+
+
+class TestInvariantAuditor:
+    def test_healthy_state_passes(self, audited):
+        *_, auditor = audited
+        auditor.audit(1.0)
+        assert auditor.audits == 1
+
+    def test_cache_drift_detected(self, audited):
+        ledger, *_, auditor = audited
+        ledger._used[0] += 1.0  # simulate a cache bug
+        with pytest.raises(AuditViolationError, match="cache-vs-journal") as info:
+            auditor.audit(2.0)
+        assert info.value.dump["check"] == "cache-vs-journal"
+
+    def test_dead_instance_holding_capacity_detected(self, audited):
+        _, _, _, chain, auditor = audited
+        chain.instances[0].alive = False  # died without releasing its tag
+        with pytest.raises(AuditViolationError, match="dead-instance"):
+            auditor.audit(2.0)
+
+    def test_killed_but_unreleased_is_orphaned(self, audited):
+        ledger, *_ , auditor = audited
+        ledger.allocate(3, 50.0, tag="mystery")
+        with pytest.raises(AuditViolationError, match="orphaned-allocations"):
+            auditor.audit(2.0)
+
+    def test_wrong_amount_detected(self, audited):
+        ledger, _, _, chain, auditor = audited
+        inst = chain.instances[0]
+        ledger.release_tag(inst.tag)
+        ledger.allocate(inst.cloudlet, inst.demand / 2, tag=inst.tag)
+        with pytest.raises(AuditViolationError, match="live-instance-allocation"):
+            auditor.audit(2.0)
+
+    def test_slo_state_drift_detected(self, audited):
+        _, _, metrics, chain, auditor = audited
+        metrics.timeline(chain.name).slo_ok = not metrics.timeline(chain.name).slo_ok
+        with pytest.raises(AuditViolationError, match="slo-state-drift"):
+            auditor.audit(2.0)
+
+    def test_outage_tag_for_up_cloudlet_is_orphaned(self, audited):
+        ledger, *_, auditor = audited
+        ledger.allocate(3, 10.0, tag="outage:3")
+        with pytest.raises(AuditViolationError, match="orphaned-allocations"):
+            auditor.audit(2.0)
+
+    def test_forced_outage_reconciles(self, audited):
+        _, injector, metrics, chain, auditor = audited
+        affected = injector.force_outage(0)
+        assert chain in affected
+        # the stream re-evaluates SLO state after every failure event
+        metrics.on_state(chain.name, 2.0, chain.meets_slo())
+        auditor.audit(2.0)  # blockade + dead instances reconcile cleanly
+
+    def test_forensic_dump_written(self, audited, tmp_path):
+        ledger, injector, metrics, _, _ = audited
+        dump_file = tmp_path / "forensics.json"
+        auditor = InvariantAuditor(
+            ledger, injector, metrics, dump_path=dump_file
+        )
+        ledger._used[1] += 3.0
+        with pytest.raises(AuditViolationError):
+            auditor.audit(5.0)
+        dump = json.loads(dump_file.read_text())
+        assert dump["check"] == "cache-vs-journal"
+        assert dump["time"] == 5.0
+        assert dump["chains"]
+
+    def test_breaker_illegal_transition_detected(self, audited, clock):
+        ledger, injector, metrics, _, _ = audited
+        breaker = CircuitBreaker(BreakerPolicy(), clock)
+        auditor = InvariantAuditor(ledger, injector, metrics, breaker=breaker)
+        auditor.audit(1.0)  # legal so far
+        breaker.transitions.append(
+            type(breaker.transitions[0])(time=2.0, state=HALF_OPEN, reason="forged")
+        )
+        with pytest.raises(AuditViolationError, match="breaker-illegal-transition"):
+            auditor.audit(3.0)
+
+
+# -- campaign tracker / report --------------------------------------------------
+class TestCampaignTracker:
+    def test_chain_seconds_integrate_into_phases(self):
+        from repro.resilience.metrics import ResilienceReport
+
+        report = ResilienceReport(horizon=100.0)
+        tracker = CampaignTracker()
+        tracker.begin_phase(0, "a", 0.0, report)
+        tracker.advance(10.0, ok=2, breached=0)  # [0,10): no chains yet
+        tracker.advance(20.0, ok=1, breached=1)  # [10,20): 2 ok
+        tracker.begin_phase(1, "b", 30.0, report)  # [20,30): 1 ok 1 breached
+        tracker.advance(40.0, ok=0, breached=2)  # [30,40): 1 ok 1 breached
+        tracker.close(50.0, report)  # [40,50): 2 breached
+
+        a, b = tracker.phases
+        assert (a.ok_chain_time, a.breached_chain_time) == (30.0, 10.0)
+        assert (b.ok_chain_time, b.breached_chain_time) == (10.0, 30.0)
+        assert a.slo_attainment == 0.75
+        assert b.slo_attainment == 0.25
+        assert (a.start, a.end, b.start, b.end) == (0.0, 30.0, 30.0, 50.0)
+
+    def test_empty_phase_attains_fully(self):
+        stats = PhaseStats(index=0, name="idle", start=0.0, end=10.0)
+        assert stats.slo_attainment == 1.0
+
+    def test_admission_requires_open_phase(self):
+        tracker = CampaignTracker()
+        with pytest.raises(ValidationError):
+            tracker.on_admission(True, True, False, CLOSED)

@@ -1,0 +1,183 @@
+"""End-to-end chaos campaign tests: the PR's acceptance criteria.
+
+The soak scenario -- rolling outages + flapping over >= 10k simulated
+seconds -- must complete with zero invariant-audit violations, a breaker
+that provably opened *and* re-closed (asserted from the state timeline),
+and a report that replays bit-identically from the same seed under the
+fake clock (including across different ``PYTHONHASHSEED`` values, checked
+in subprocesses).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import (
+    CLOSED,
+    OPEN,
+    builtin_scenarios,
+    render_dashboard,
+    run_chaos_campaign,
+)
+from repro.chaos.audit import _LEGAL_EDGES
+from repro.chaos.scenario import FlappingCloudlet, RollingOutage
+from repro.experiments.resilience import (
+    run_chaos_campaign as run_chaos_experiment,
+)
+
+ROOT = Path(__file__).parent.parent
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fake_clock():
+    """Campaigns in this module run under the deterministic clock."""
+    os.environ["REPRO_FAKE_CLOCK"] = "1"
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_FAKE_CLOCK", None)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    """One quick campaign shared by the cheap assertions."""
+    return run_chaos_campaign("quick", seed=7)
+
+
+class TestQuickCampaign:
+    def test_zero_invariant_violations_with_audits(self, quick_report):
+        assert quick_report.resilience.invariant_violations == 0
+        assert quick_report.audits > 0
+
+    def test_all_failure_modes_exercised(self, quick_report):
+        counts = quick_report.resilience.event_counts
+        assert counts["instance-fail"] > 0  # churn + storm
+        assert counts["cloudlet-fail"] > 0  # rolling outage + flapping
+
+    def test_surge_arrivals_served(self, quick_report):
+        names = [o.name for o in quick_report.resilience.outcomes]
+        assert any(name.startswith("req-surge") for name in names)
+        # background arrivals are present too
+        assert any(name == "req-0" for name in names)
+
+    def test_phases_partition_horizon(self, quick_report):
+        phases = quick_report.phases
+        assert [p.name for p in phases] == ["calm", "assault", "recovery"]
+        assert phases[0].start == 0.0
+        assert phases[-1].end == quick_report.horizon
+        for prev, cur in zip(phases, phases[1:]):
+            assert prev.end == cur.start
+
+    def test_admissions_by_state_cover_every_arrival(self, quick_report):
+        total = sum(quick_report.admissions_by_state.values())
+        assert total == len(quick_report.resilience.outcomes)
+
+    def test_breaker_timeline_is_legal(self, quick_report):
+        transitions = quick_report.breaker_transitions
+        assert transitions[0].state == CLOSED
+        for prev, cur in zip(transitions, transitions[1:]):
+            assert cur.time >= prev.time
+            assert cur.state in _LEGAL_EDGES[prev.state]
+
+    def test_breaker_occupancy_partitions_horizon(self, quick_report):
+        assert sum(quick_report.breaker_occupancy.values()) == pytest.approx(
+            quick_report.horizon
+        )
+
+    def test_dashboard_renders(self, quick_report):
+        text = render_dashboard(quick_report)
+        assert "chaos campaign: quick" in text
+        assert "breaker timeline:" in text
+        assert "per-phase SLO attainment:" in text
+
+    def test_report_schema(self, quick_report):
+        doc = quick_report.to_dict()
+        assert doc["schema"] == "repro-bench/1"
+        assert doc["benchmark"] == "chaos-campaign"
+        assert len(doc["points"]) == len(quick_report.phases)
+        json.dumps(doc, allow_nan=False)  # strictly JSON-serialisable
+
+    def test_experiments_delegate(self):
+        report = run_chaos_experiment("quick", rng=7)
+        assert report.scenario == "quick"
+
+
+class TestSoakAcceptance:
+    @pytest.fixture(scope="class")
+    def soak_report(self):
+        return run_chaos_campaign("soak", seed=11)
+
+    def test_scenario_shape(self):
+        scenario = builtin_scenarios()["soak"]
+        assert scenario.horizon >= 10_000.0
+        events = [e for phase in scenario.phases for e in phase.events]
+        assert any(isinstance(e, RollingOutage) for e in events)
+        assert any(isinstance(e, FlappingCloudlet) for e in events)
+
+    def test_completes_with_zero_audit_violations(self, soak_report):
+        assert soak_report.horizon >= 10_000.0
+        assert soak_report.resilience.invariant_violations == 0
+        # the auditor genuinely ran, at its cadence, across the campaign
+        assert soak_report.audits >= soak_report.horizon / 51.0
+
+    def test_breaker_provably_opened_and_reclosed(self, soak_report):
+        states = [tr.state for tr in soak_report.breaker_transitions]
+        assert OPEN in states
+        first_open = states.index(OPEN)
+        assert CLOSED in states[first_open + 1 :]
+        # convenience properties agree with the raw timeline
+        assert soak_report.breaker_opened
+        assert soak_report.breaker_reclosed
+
+    def test_degradation_observed_and_recovered(self, soak_report):
+        by_name = {p.name: p for p in soak_report.phases}
+        # adversity phases attain less than calm; recovery restores service
+        assert by_name["rolling-blackout"].slo_attainment < by_name["calm"].slo_attainment
+        assert by_name["recovery"].slo_attainment > by_name["flapping"].slo_attainment
+
+    def test_shedding_happened_while_open(self, soak_report):
+        assert soak_report.admissions_by_state.get(OPEN, 0) == soak_report.shed_admissions
+
+
+class TestReplayDeterminism:
+    def test_same_seed_same_report_json(self):
+        a = json.dumps(run_chaos_campaign("quick", seed=5).to_dict(), sort_keys=True)
+        b = json.dumps(run_chaos_campaign("quick", seed=5).to_dict(), sort_keys=True)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = json.dumps(run_chaos_campaign("quick", seed=5).to_dict(), sort_keys=True)
+        b = json.dumps(run_chaos_campaign("quick", seed=6).to_dict(), sort_keys=True)
+        assert a != b
+
+    @pytest.mark.parametrize("hash_seed", ["0", "4242"])
+    def test_hash_seed_invariance(self, hash_seed, tmp_path):
+        """The campaign report must not depend on PYTHONHASHSEED: scripted
+        events go through the stable batch order, so iteration-order noise
+        from str hashing cannot leak into the schedule."""
+        out = tmp_path / f"report-{hash_seed}.json"
+        env = dict(os.environ)
+        env.update(
+            PYTHONHASHSEED=hash_seed,
+            REPRO_FAKE_CLOCK="1",
+            PYTHONPATH=str(ROOT / "src"),
+        )
+        script = (
+            "import json, sys\n"
+            "from repro.chaos import run_chaos_campaign\n"
+            "doc = run_chaos_campaign('quick', seed=13).to_dict()\n"
+            f"open({str(out)!r}, 'w').write(json.dumps(doc, sort_keys=True))\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", script], env=env, check=True, timeout=300
+        )
+        reference = json.dumps(
+            run_chaos_campaign("quick", seed=13).to_dict(), sort_keys=True
+        )
+        assert out.read_text() == reference

@@ -176,3 +176,27 @@ class TestResilientCommand:
         assert "mean availability" in out
         assert "ledger invariant violations" in out
         assert "repair" in out
+
+
+class TestChaosCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.scenario == "soak"
+        assert args.quick is False
+        args = build_parser().parse_args(["chaos", "--quick", "--seed", "9"])
+        assert args.quick and args.seed == 9
+
+    def test_chaos_smoke(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAKE_CLOCK", "1")
+        out_json = tmp_path / "report.json"
+        rc = main(["chaos", "--quick", "--seed", "3", "--json", str(out_json)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "chaos campaign: quick" in out
+        assert "breaker timeline:" in out
+        assert "audits passed" in out
+        import json as _json
+
+        doc = _json.loads(out_json.read_text())
+        assert doc["schema"] == "repro-bench/1"
+        assert doc["summary"]["invariant_violations"] == 0

@@ -50,6 +50,17 @@ EXAMPLES = [
         ["4"],
         ["Static reliability vs simulated availability", "unrestricted"],
     ),
+    (
+        "chaos_campaign.py",
+        ["5"],
+        [
+            "scenario 'demo'",
+            "rolling-outage, surge, flapping, storm",
+            "breaker timeline:",
+            "audits",
+            "replay bit-identical: True",
+        ],
+    ),
 ]
 
 

@@ -6,6 +6,9 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import settings as hyp_settings
+from hypothesis import strategies as hyp_st
 
 from repro.algorithms.heuristic import MatchingHeuristic
 from repro.netmodel.capacity import CapacityLedger
@@ -441,3 +444,83 @@ class TestMetricsTracker:
         report = tracker.finalize(horizon=1.0)
         assert report.acceptance_rate == pytest.approx(0.5)
         assert report.repair_success_rate == 0.0  # no attempts -> no crash
+
+
+# -- satellite regression tests: determinism + retry-delay properties -----------
+class TestInjectorSeedReproducibility:
+    """Two injectors built from the same FailureConfig + seed must emit
+    identical event schedules -- the foundation of campaign replays."""
+
+    CONFIG = FailureConfig(
+        instance_mttr=1.0,
+        instance_acceleration=2.0,
+        cloudlet_mtbf=8.0,
+        cloudlet_mttr=1.5,
+    )
+
+    def _schedule(self, seed: int, request: Request) -> list[tuple[float, tuple]]:
+        network = MECNetwork(line_topology(5), {v: 2000.0 for v in range(5)})
+        ledger = CapacityLedger({v: 2000.0 for v in range(5)})
+        queue = EventQueue()
+        injector = FailureInjector(
+            network, ledger, queue, self.CONFIG, np.random.default_rng(seed)
+        )
+        injector.start()
+        chain = build_chain(request, ledger, [[0, 1], [2], [3, 4]])
+        injector.register(chain, 0.0)
+        events = []
+        while queue:
+            event = queue.pop()
+            events.append((event.time, event.payload))
+        return events
+
+    def test_same_seed_identical_schedule(self, request_):
+        a = self._schedule(123, request_)
+        b = self._schedule(123, request_)
+        assert a == b
+        assert len(a) > 5  # cloudlet processes + instance failures all armed
+
+    def test_different_seed_differs(self, request_):
+        assert self._schedule(123, request_) != self._schedule(124, request_)
+
+
+class TestRetryDelayProperties:
+    """Hypothesis properties of RepairPolicy.retry_delay (chaos satellite)."""
+
+    policies = hyp_st.builds(
+        RepairPolicy,
+        backoff=hyp_st.floats(0.01, 50.0),
+        backoff_factor=hyp_st.floats(1.0, 4.0),
+        max_delay=hyp_st.floats(0.01, 1e6),
+        jitter=hyp_st.floats(0.0, 0.95, exclude_max=False),
+    )
+
+    @hyp_settings(max_examples=100, deadline=None)
+    @given(policy=policies, attempt=hyp_st.integers(0, 60))
+    def test_monotone_nondecreasing_and_capped(self, policy, attempt):
+        here = policy.retry_delay(attempt)
+        after = policy.retry_delay(attempt + 1)
+        assert here <= after
+        assert here <= policy.max_delay
+
+    @hyp_settings(max_examples=100, deadline=None)
+    @given(policy=policies, attempt=hyp_st.integers(1, 60), seed=hyp_st.integers(0, 2**32 - 1))
+    def test_jitter_bounds_respected(self, policy, attempt, seed):
+        base = min(
+            policy.backoff * policy.backoff_factor ** (attempt - 1), policy.max_delay
+        )
+        delay = policy.retry_delay(attempt, rng=np.random.default_rng(seed))
+        assert delay <= policy.max_delay
+        assert base * (1.0 - policy.jitter) - 1e-12 <= delay
+        assert delay <= min(base * (1.0 + policy.jitter), policy.max_delay) + 1e-12
+
+    @hyp_settings(max_examples=50, deadline=None)
+    @given(policy=policies, attempt=hyp_st.integers(1, 60), seed=hyp_st.integers(0, 2**32 - 1))
+    def test_zero_jitter_never_consults_rng(self, policy, attempt, seed):
+        from dataclasses import replace as dc_replace
+
+        quiet = dc_replace(policy, jitter=0.0)
+        rng = np.random.default_rng(seed)
+        before = rng.bit_generator.state
+        quiet.retry_delay(attempt, rng=rng)
+        assert rng.bit_generator.state == before
