@@ -64,6 +64,7 @@ from repro.matching.mincost import (
     min_cost_max_matching_arrays,
     resolve_backend,
 )
+from repro.matching.warmstart import warm_delta_enabled
 from repro.util.errors import ValidationError
 from repro.util.rng import RandomState
 from repro.util.timing import Stopwatch
@@ -218,6 +219,7 @@ class MatchingHeuristic(AugmentationAlgorithm):
         # between rounds), so it cannot live behind the stateless
         # min_cost_max_matching_arrays interface.
         warm = warm_solver_for(problem, ledger, arena=arena) if backend == "warm" else None
+        warm_delta = warm_delta_enabled() if warm is not None else False
         items = problem.items
         placements: list[Placement] = []
         counts = [0] * problem.request.chain.length
@@ -241,12 +243,19 @@ class MatchingHeuristic(AugmentationAlgorithm):
                 break
 
             if warm is not None:
-                matching = [
-                    MatchEdge(r, c, cost)
-                    for r, c, cost in warm.solve_round(
+                if warm_delta:
+                    # Delta re-solve: keep still-valid pairs from the last
+                    # round, re-augment only orphaned rows; edge_idx routes
+                    # CSR construction through the universe presort.
+                    triples = warm.solve_round_delta(
+                        rows, cols, edge_rows, edge_cols, edge_costs,
+                        edge_idx=state.last_edge_idx,
+                    )
+                else:
+                    triples = warm.solve_round(
                         rows, cols, edge_rows, edge_cols, edge_costs
                     )
-                ]
+                matching = [MatchEdge(r, c, cost) for r, c, cost in triples]
             else:
                 matching = min_cost_max_matching_arrays(
                     len(rows), len(cols), edge_rows, edge_cols, edge_costs,
@@ -293,6 +302,7 @@ class MatchingHeuristic(AugmentationAlgorithm):
         # its column duals by them (so both engines address one dual store).
         remaining_idx: list[int] = list(range(len(remaining)))
         warm = warm_solver_for(problem, ledger) if backend == "warm" else None
+        warm_delta = warm_delta_enabled() if warm is not None else False
         placements: list[Placement] = []
         counts = [0] * problem.request.chain.length
         rounds = 0
@@ -320,9 +330,10 @@ class MatchingHeuristic(AugmentationAlgorithm):
                 # Same round graph, arrays instead of the dict (dict
                 # insertion order is already item-major/bin order), columns
                 # keyed globally through remaining_idx.
+                solve = warm.solve_round_delta if warm_delta else warm.solve_round
                 matching = [
                     MatchEdge(r, c, cost)
-                    for r, c, cost in warm.solve_round(
+                    for r, c, cost in solve(
                         cloudlets,
                         remaining_idx,
                         [k[0] for k in edges],

@@ -16,13 +16,16 @@ arena-off solves are bit-identical.
 The warm-started matching backend
 (:class:`~repro.matching.warmstart.DualReusingSolver`) leases its state
 from the same pool under the ``warm_*`` names: ``warm_u`` / ``warm_v`` /
-``warm_vd`` hold the persistent LAP duals (sized by the global node/item
-spaces, so they survive every round of a solve), while ``warm_dist`` /
-``warm_pred`` / ``warm_scanned`` are the per-augmentation Dijkstra
-scratch.  The dual buffers look like an exception to the "fully
-re-initialised before use" rule, but are not: the solver zeroes them at
+``warm_vd`` hold the persistent LAP duals and ``warm_match_col4row`` /
+``warm_match_row4col`` the persistent global matching of the delta
+re-solve engine (all sized by the global node/item spaces, so they
+survive every round of a solve), while ``warm_dist`` / ``warm_pred`` /
+``warm_scanned`` are the per-augmentation Dijkstra scratch.  The
+dual/matching buffers look like an exception to the "fully re-initialised
+before use" rule, but are not: the solver initialises them at
 construction and thereafter they are solver *state*, reused only within
-the one solve that owns the lease.
+the one solve that owns the lease -- which is also why at most one live
+arena-backed warm solver may exist per arena.
 
 Locality contract (see ``docs/performance.md``)
 -----------------------------------------------

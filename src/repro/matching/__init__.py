@@ -19,9 +19,19 @@ provides:
   backend (``"sparse"``): the real edge set plus dummy columns handed to
   ``scipy.sparse.csgraph``, skipping the dense ``(n+m)^2`` padding;
 * :class:`~repro.matching.warmstart.DualReusingSolver` -- the ``"warm"``
-  backend: a sparse JV solver whose dual potentials persist across
-  Algorithm 2's rounds (factory:
-  :func:`~repro.matching.incremental.warm_solver_for`);
+  backend: a sparse JV solver whose dual potentials *and matching* persist
+  across Algorithm 2's rounds (factory:
+  :func:`~repro.matching.incremental.warm_solver_for`); delta rounds keep
+  still-valid pairs and re-augment only orphans
+  (:meth:`~repro.matching.warmstart.DualReusingSolver.solve_round_delta`),
+  online serving can checkpoint/rewind the persistent state
+  (:meth:`~repro.matching.warmstart.DualReusingSolver.snapshot` /
+  :meth:`~repro.matching.warmstart.DualReusingSolver.restore`),
+  with :class:`~repro.matching.warmstart.WarmStats` counters, a
+  :class:`~repro.matching.warmstart.UniverseIndex` CSR presort, and the
+  ``REPRO_WARM_SWEEP`` / ``REPRO_WARM_DELTA`` switches
+  (:func:`~repro.matching.warmstart.sweep_mode`,
+  :func:`~repro.matching.warmstart.warm_delta_enabled`);
 * :class:`~repro.matching.incremental.RoundState` -- the incremental round
   engine for Algorithm 2's hot path: static edge universe, delta-maintained
   residuals, bit-identical to rebuilding ``G_l`` from scratch every round.
@@ -45,7 +55,14 @@ from repro.matching.mincost import (
     select_backend,
 )
 from repro.matching.sparse import sparse_min_cost_max_matching
-from repro.matching.warmstart import DualReusingSolver, warm_min_cost_max_matching
+from repro.matching.warmstart import (
+    DualReusingSolver,
+    UniverseIndex,
+    WarmStats,
+    sweep_mode,
+    warm_delta_enabled,
+    warm_min_cost_max_matching,
+)
 
 __all__ = [
     "BACKENDS",
@@ -62,6 +79,10 @@ __all__ = [
     "select_backend",
     "solve_assignment",
     "sparse_min_cost_max_matching",
+    "sweep_mode",
+    "UniverseIndex",
+    "warm_delta_enabled",
     "warm_min_cost_max_matching",
     "warm_solver_for",
+    "WarmStats",
 ]

@@ -62,7 +62,7 @@ import numpy as np
 from repro.core.items import reliability_ladder
 from repro.core.problem import AugmentationProblem
 from repro.kernels.items import plan_of
-from repro.matching.warmstart import DualReusingSolver
+from repro.matching.warmstart import DualReusingSolver, UniverseIndex
 from repro.netmodel.capacity import EPS, CapacityLedger
 from repro.util.errors import ValidationError
 
@@ -80,7 +80,7 @@ class _ProblemStatics:
     """
 
     __slots__ = ("edge_item", "edge_node", "edge_cost", "edge_demand",
-                 "max_node", "cost_sum", "rel_ladders")
+                 "max_node", "cost_sum", "rel_ladders", "universes")
 
     def __init__(self, problem: AugmentationProblem) -> None:
         plan = plan_of(problem)
@@ -130,6 +130,20 @@ class _ProblemStatics:
             reliability_ladder(r, k_max)
             for r, k_max in zip(problem.reliabilities, per_position)
         )
+        # CSR presorts of the edge universe, one per ledger node order --
+        # built lazily by warm_solver_for, shared by every solver on this
+        # problem so the O(E log E) lexsort happens once, not per solve.
+        self.universes: dict[tuple[int, ...], UniverseIndex] = {}
+
+    def universe_for(self, nodes: Sequence[int]) -> UniverseIndex:
+        """The memoized :class:`UniverseIndex` for one ledger node order."""
+        key = tuple(nodes)
+        uni = self.universes.get(key)
+        if uni is None:
+            uni = self.universes[key] = UniverseIndex(
+                self.edge_node, self.edge_item, self.edge_cost, nodes
+            )
+        return uni
 
 
 _STATICS: "WeakKeyDictionary[AugmentationProblem, _ProblemStatics]" = (
@@ -155,7 +169,9 @@ def warm_solver_for(
     dual vectors (keyed by global cloudlet id / item index) and the constant
     dummy cost ``B`` (from the shared statics' universe cost sum) are
     identical -- a precondition for the engines' bit-identical solves under
-    the ``"warm"`` backend.
+    the ``"warm"`` backend.  The solver also carries the problem's memoized
+    :class:`UniverseIndex` for this ledger's node order, enabling the
+    ``edge_idx`` fast path of ``solve_round_delta``.
     """
     statics = _statics(problem)
     nodes = ledger.nodes
@@ -166,7 +182,10 @@ def warm_solver_for(
             )
     node_space = max(max(nodes, default=-1), statics.max_node) + 1
     n_items = len(problem.items)
-    return DualReusingSolver(node_space, n_items, statics.cost_sum, arena=arena)
+    return DualReusingSolver(
+        node_space, n_items, statics.cost_sum, arena=arena,
+        universe=statics.universe_for(nodes),
+    )
 
 
 class RoundState:
@@ -242,12 +261,24 @@ class RoundState:
         self._num_alive = n_items
         self._refresh_residuals()
         self._rounds_applied = 0
+        self._last_edge_idx: np.ndarray | None = None
 
     # -- queries --------------------------------------------------------------
     @property
     def has_items(self) -> bool:
         """Whether any unmatched item remains."""
         return self._num_alive > 0
+
+    @property
+    def last_edge_idx(self) -> np.ndarray | None:
+        """Universe positions of the live edges of the last built round.
+
+        Parallel to the edge arrays :meth:`build_edges` returned (it already
+        computes them to gather the arrays); feeds the ``edge_idx`` fast
+        path of :meth:`repro.matching.warmstart.DualReusingSolver.solve_round_delta`.
+        ``None`` before the first :meth:`build_edges` call.
+        """
+        return self._last_edge_idx
 
     @property
     def reliability_ladders(self) -> tuple[tuple[float, ...], ...]:
@@ -292,6 +323,7 @@ class RoundState:
         ok &= (res_e + EPS) >= self._edge_demand
         ok &= alive[self._edge_item]
         idx = np.nonzero(ok)[0]
+        self._last_edge_idx = idx
         edge_rows = node_to_row[self._edge_node[idx]]
         edge_cols = col_of[self._edge_item[idx]]
         edge_costs = self._edge_cost[idx].tolist()

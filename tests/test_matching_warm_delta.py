@@ -1,0 +1,421 @@
+"""Delta re-solve engine of the warm LAP core: exactness and equivalences.
+
+The contract under test (``repro.matching.warmstart``):
+
+* **Exactness** -- every round of :meth:`DualReusingSolver.solve_round_delta`
+  equals the scipy big-M dense reference *pair-for-pair* (costs are unique
+  floats, so the optimum is unique), on arbitrary round sequences: shrink
+  (Algorithm 2's consume-matched rounds), edge loss, row loss, **and**
+  growth -- items, edges and rows returning, which is what breaks the JV
+  invariant and exercises the two-pass feasibility repair plus the
+  column-insertion certification;
+* **Engine equivalences** -- scan == heap sweeps, delta == cold solves,
+  ``edge_idx``/:class:`UniverseIndex` fast path == lexsort path, and
+  arena-leased == freshly-allocated state, all pair-for-pair;
+* **Counters** -- :class:`WarmStats` bookkeeping stays consistent and the
+  repair counter actually fires on growth rounds;
+* **Validation** -- malformed rounds (out-of-range edge endpoints,
+  mismatched ``edge_idx``, unsorted ``cols``) raise
+  :class:`~repro.util.errors.ValidationError` instead of corrupting the
+  persistent state.
+
+Named regressions at the bottom pin the historical failure modes: the
+stale-pair mutuality bug (a row absent from a round keeping a claim on an
+item another row re-matched) and the unsoundness of "compensated" repairs
+(dummy-matched rows next to an attractive freed column *must* re-augment).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.kernels.arena import MatrixArena
+from repro.matching.warmstart import (
+    DualReusingSolver,
+    UniverseIndex,
+    sweep_mode,
+    warm_delta_enabled,
+)
+from repro.util.errors import ValidationError
+
+
+def scipy_reference(n, m, erow, ecol, costs, big):
+    """Unique-optimum reference: big-M padded dense ``linear_sum_assignment``."""
+    forbidden = big * (n + 2.0)
+    dense = np.full((n, m + n), forbidden)
+    dense[erow, ecol] = costs
+    for i in range(n):
+        dense[i, m + i] = big
+    ri, ci = linear_sum_assignment(dense)
+    pairs = sorted(
+        (int(i), int(j)) for i, j in zip(ri, ci) if j < m and dense[i, j] < big
+    )
+    cost = float(sum(dense[i, j] for i, j in pairs))
+    return pairs, cost
+
+
+def _universe(rng, max_nodes=6, max_items=8):
+    """A random static edge universe with unique costs."""
+    n_nodes = int(rng.integers(1, max_nodes + 1))
+    n_items = int(rng.integers(1, max_items + 1))
+    node_ids = rng.choice(np.arange(n_nodes * 3), size=n_nodes, replace=False)
+    node_order = [int(x) for x in rng.permutation(node_ids)]
+    pairs = [
+        (g, j) for g in node_order for j in range(n_items) if rng.random() < 0.75
+    ]
+    if not pairs:
+        pairs = [(node_order[0], 0)]
+    e_node = np.array([p[0] for p in pairs], dtype=np.intp)
+    e_item = np.array([p[1] for p in pairs], dtype=np.intp)
+    e_cost = rng.uniform(0.0, 10.0, size=len(pairs))
+    return node_order, n_items, e_node, e_item, e_cost
+
+
+def run_round_sequence(seed, adversarial, use_arena=False):
+    """Drive every engine variant through one random round sequence.
+
+    Five solvers see bit-identical rounds -- scan/heap cold, scan/heap
+    delta, and heap delta on the ``edge_idx``/:class:`UniverseIndex` fast
+    path -- and each round of each one is asserted pair-for-pair against
+    :func:`scipy_reference`.  ``adversarial=True`` biases the stream
+    toward matched items *staying* (the hard case for the delta: stale
+    tight pairs) and turns on growth events (items/edges/rows returning),
+    which is what trips the dual repair.  Returns the total number of
+    repaired duals observed, so callers can assert the repair fired.
+
+    ``REPRO_WARM_SWEEP`` is flipped per solver directly in ``os.environ``
+    (restored on exit) rather than via the ``monkeypatch`` fixture, so the
+    Hypothesis property tests can call this without holding a
+    function-scoped fixture across generated examples.
+    """
+    saved_sweep = os.environ.get("REPRO_WARM_SWEEP")
+    try:
+        return _run_round_sequence(seed, adversarial, use_arena)
+    finally:
+        if saved_sweep is None:
+            os.environ.pop("REPRO_WARM_SWEEP", None)
+        else:
+            os.environ["REPRO_WARM_SWEEP"] = saved_sweep
+
+
+def _run_round_sequence(seed, adversarial, use_arena):
+    rng = np.random.default_rng(seed)
+    node_order, n_items, e_node, e_item, e_cost = _universe(rng)
+    node_space = max(node_order) + 1
+    uni = UniverseIndex(e_node, e_item, e_cost, node_order)
+    big = float(e_cost.sum()) + 1.0
+
+    def make(universe=None):
+        # One arena per solver: the warm leases hold *persistent* state
+        # (duals + matching), and arena buffers are name-keyed -- two live
+        # solvers on one arena would alias each other's memory.
+        return DualReusingSolver(
+            node_space, n_items, float(e_cost.sum()),
+            arena=MatrixArena() if use_arena else None,
+            universe=universe,
+        )
+
+    # tag -> (solver, sweep engine, cold or delta, pass edge_idx)
+    tags = {
+        "scan-cold": (make(), "scan", "cold", False),
+        "heap-cold": (make(), "heap", "cold", False),
+        "scan-delta": (make(), "scan", "delta", False),
+        "heap-delta": (make(), "heap", "delta", False),
+        "heap-universe": (make(uni), "heap", "delta", True),
+    }
+
+    alive_row = {g: True for g in node_order}
+    alive_item = np.ones(n_items, dtype=bool)
+    alive_edge = np.ones(e_cost.size, dtype=bool)
+    matched_items: set[int] = set()
+    repairs = 0
+
+    for rnd in range(int(rng.integers(2, 7))):
+        if rnd > 0:
+            for j in range(n_items):
+                if not alive_item[j]:
+                    continue
+                p = (0.8 if adversarial else 1.0) if j in matched_items else 0.3
+                if rng.random() < p:
+                    alive_item[j] = False
+            live = np.nonzero(alive_edge)[0]
+            alive_edge[live[rng.random(live.size) < 0.2]] = False
+            for g in list(alive_row):
+                if alive_row[g] and rng.random() < 0.1:
+                    alive_row[g] = False
+            if adversarial:
+                # Growth / resurrection: removed items, edges and rows may
+                # return -- the rounds that break the JV invariant.
+                for j in range(n_items):
+                    if not alive_item[j] and rng.random() < 0.35:
+                        alive_item[j] = True
+                        matched_items.discard(j)
+                dead = np.nonzero(~alive_edge)[0]
+                alive_edge[dead[rng.random(dead.size) < 0.35]] = True
+                for g in list(alive_row):
+                    if not alive_row[g] and rng.random() < 0.3:
+                        alive_row[g] = True
+
+        rows = [g for g in node_order if alive_row[g]]
+        cols = sorted(int(j) for j in np.nonzero(alive_item)[0])
+        r_of = {g: i for i, g in enumerate(rows)}
+        c_of = {j: i for i, j in enumerate(cols)}
+        sel = [
+            k for k in range(e_cost.size)
+            if alive_edge[k]
+            and alive_row.get(int(e_node[k]), False)
+            and alive_item[int(e_item[k])]
+        ]
+        erow = np.array([r_of[int(e_node[k])] for k in sel], dtype=np.intp)
+        ecol = np.array([c_of[int(e_item[k])] for k in sel], dtype=np.intp)
+        costs = e_cost[np.array(sel, dtype=np.intp)] if sel else np.array([])
+        eidx = np.array(sel, dtype=np.intp)
+
+        if rows and cols and sel:
+            ref_pairs, ref_cost = scipy_reference(
+                len(rows), len(cols), erow, ecol, costs, big
+            )
+        else:
+            ref_pairs, ref_cost = [], 0.0
+
+        results = {}
+        cols_arr = np.array(cols, dtype=np.intp)
+        for name, (solver, sweep, mode, use_uni) in tags.items():
+            os.environ["REPRO_WARM_SWEEP"] = sweep
+            before = solver.stats.dual_repairs
+            if mode == "cold":
+                out = solver.solve_round(rows, cols_arr, erow, ecol, costs)
+            elif use_uni:
+                out = solver.solve_round_delta(
+                    rows, cols_arr, erow, ecol, costs, edge_idx=eidx
+                )
+            else:
+                out = solver.solve_round_delta(rows, cols_arr, erow, ecol, costs)
+            repairs += solver.stats.dual_repairs - before
+            got_pairs = sorted((r, c) for r, c, _ in out)
+            got_cost = float(sum(c for _, _, c in out))
+            assert got_pairs == ref_pairs and abs(got_cost - ref_cost) < 1e-7, (
+                f"seed={seed} round={rnd} tag={name}: {got_pairs} "
+                f"(cost {got_cost:.6f}) != reference {ref_pairs} "
+                f"(cost {ref_cost:.6f})"
+            )
+            results[name] = (got_pairs, got_cost)
+
+        base = results["scan-cold"]
+        for name, res in results.items():
+            assert res == base, f"seed={seed} round={rnd}: {name} != scan-cold"
+        matched_items = {cols[c] for _, c in base[0]}
+
+        stats = tags["heap-delta"][0].stats
+        assert stats.rows_kept + stats.rows_reaugmented == stats.rows_total
+    return repairs
+
+
+# -- property tests -----------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_delta_equals_cold_equals_scipy_on_shrink_sequences(seed):
+    """Algorithm 2-shaped sequences: every engine variant is exact."""
+    run_round_sequence(seed, adversarial=False)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_delta_is_exact_on_growth_sequences(seed):
+    """Resurrection-heavy sequences: the dual repair keeps exactness."""
+    run_round_sequence(seed, adversarial=True)
+
+
+def test_repair_counter_fires_on_growth():
+    """Across adversarial seeds the repair path is actually exercised."""
+    total = sum(
+        run_round_sequence(1000 + s, adversarial=True) for s in range(30)
+    )
+    assert total > 0
+
+
+def test_arena_leases_are_bit_identical():
+    """Arena-backed solvers replay the same sequences pair-for-pair."""
+    for seed in (7, 1093, 2002):
+        run_round_sequence(seed, adversarial=True, use_arena=True)
+
+
+def test_snapshot_restore_replays_identically():
+    """``restore()`` rewinds duals + matching: a re-served event round is
+    pair-for-pair identical, and the snapshot holds copies (later rounds
+    don't mutate it).  This is the online-serving checkpoint the benchmark
+    times against."""
+    # Universe edges (row, item) -> cost
+    costs = np.array([1.0, 4.0, 2.0, 3.0, 7.0, 5.0])
+    erow = np.array([0, 0, 1, 1, 2, 2], dtype=np.intp)
+    ecol = np.array([0, 1, 0, 2, 1, 2], dtype=np.intp)
+    s = DualReusingSolver(3, 3, float(costs.sum()))
+    s.solve_round_delta([0, 1, 2], np.array([0, 1, 2]), erow, ecol, costs)
+    state = s.snapshot()
+    u_before = state["u"].copy()
+    # Event round: item 1 fails; live edges remapped to local cols [0, 2].
+    event = (
+        [0, 1, 2],
+        np.array([0, 2]),
+        np.array([0, 1, 1, 2], dtype=np.intp),
+        np.array([0, 0, 1, 1], dtype=np.intp),
+        np.array([1.0, 2.0, 3.0, 5.0]),
+    )
+    first = s.solve_round_delta(*event)
+    assert np.array_equal(state["u"], u_before)  # snapshot is a copy
+    s.restore(state)
+    second = s.solve_round_delta(*event)
+    assert first == second
+    ref_pairs, ref_cost = scipy_reference(
+        3, 2, event[2], event[3], event[4], float(costs.sum()) + 1.0
+    )
+    assert sorted((r, c) for r, c, _ in second) == ref_pairs
+    assert abs(sum(c for _, _, c in second) - ref_cost) < 1e-9
+
+
+def test_restore_rejects_mismatched_snapshot():
+    donor = DualReusingSolver(5, 4, 10.0)
+    with pytest.raises(ValidationError, match="snapshot shape mismatch"):
+        _tiny_solver().restore(donor.snapshot())
+
+
+# -- named regressions --------------------------------------------------------
+def test_stale_pair_mutuality_regression():
+    """A row absent from a round must not keep a claim its item re-matched.
+
+    Historical bug: ``_g_col4row`` is only rewritten for rows present in a
+    round, so a vanished row kept pointing at its old item; when the row
+    resurrected while the item was matched elsewhere, reconciliation
+    double-matched the item (two rows on one column).  Seed 1093 of the
+    adversarial stream reproduced it before the mutuality check.
+    """
+    run_round_sequence(1093, adversarial=True)
+
+
+def test_dummy_matched_row_must_reaugment():
+    """A dummy-matched row next to a freed cheap column must re-augment.
+
+    Historical bug: "compensated" repairs tried to keep such rows matched
+    to their dummy by adjusting duals, but the state is genuinely
+    suboptimal (a length-1 augmenting path exists) and no sound dual
+    adjustment can certify it -- the matching silently lost cardinality.
+    Seed 2 of the adversarial stream reproduced it.
+    """
+    run_round_sequence(2, adversarial=True)
+
+
+# -- validation ---------------------------------------------------------------
+def _tiny_solver(**kwargs):
+    return DualReusingSolver(3, 3, 10.0, **kwargs)
+
+
+def test_edge_rows_out_of_range_raise():
+    s = _tiny_solver()
+    with pytest.raises(ValidationError, match="edge_rows out of range"):
+        s.solve_round(
+            [0, 1], np.array([0, 1]), np.array([0, 5]), np.array([0, 1]),
+            np.array([1.0, 2.0]),
+        )
+
+
+def test_edge_cols_out_of_range_raise():
+    s = _tiny_solver()
+    with pytest.raises(ValidationError, match="edge_cols out of range"):
+        s.solve_round(
+            [0, 1], np.array([0, 1]), np.array([0, 1]), np.array([0, -1]),
+            np.array([1.0, 2.0]),
+        )
+
+
+def test_mismatched_edge_arrays_raise():
+    s = _tiny_solver()
+    with pytest.raises(ValidationError, match="parallel"):
+        s.solve_round(
+            [0, 1], np.array([0, 1]), np.array([0]), np.array([0, 1]),
+            np.array([1.0, 2.0]),
+        )
+
+
+def test_negative_costs_raise():
+    s = _tiny_solver()
+    with pytest.raises(ValidationError, match="non-negative"):
+        s.solve_round(
+            [0], np.array([0]), np.array([0]), np.array([0]), np.array([-1.0])
+        )
+
+
+def test_delta_requires_ascending_cols():
+    s = _tiny_solver()
+    with pytest.raises(ValidationError, match="strictly ascending"):
+        s.solve_round_delta(
+            [0, 1], np.array([1, 0]), np.array([0, 1]), np.array([0, 1]),
+            np.array([1.0, 2.0]),
+        )
+
+
+def test_edge_idx_size_mismatch_raises():
+    uni = UniverseIndex(
+        np.array([0, 1]), np.array([0, 1]), np.array([1.0, 2.0]), [0, 1]
+    )
+    s = _tiny_solver(universe=uni)
+    with pytest.raises(ValidationError, match="edge_idx"):
+        s.solve_round_delta(
+            [0, 1], np.array([0, 1]), np.array([0, 1]), np.array([0, 1]),
+            np.array([1.0, 2.0]), edge_idx=np.array([0]),
+        )
+
+
+def test_edge_idx_out_of_range_raises():
+    uni = UniverseIndex(
+        np.array([0, 1]), np.array([0, 1]), np.array([1.0, 2.0]), [0, 1]
+    )
+    s = _tiny_solver(universe=uni)
+    with pytest.raises(ValidationError, match="edge_idx out of range"):
+        s.solve_round_delta(
+            [0, 1], np.array([0, 1]), np.array([0, 1]), np.array([0, 1]),
+            np.array([1.0, 2.0]), edge_idx=np.array([0, 9]),
+        )
+
+
+# -- env switches -------------------------------------------------------------
+def test_sweep_mode_default_and_validation(monkeypatch):
+    monkeypatch.delenv("REPRO_WARM_SWEEP", raising=False)
+    assert sweep_mode() == "heap"
+    monkeypatch.setenv("REPRO_WARM_SWEEP", "scan")
+    assert sweep_mode() == "scan"
+    monkeypatch.setenv("REPRO_WARM_SWEEP", "bogus")
+    with pytest.raises(ValidationError, match="REPRO_WARM_SWEEP"):
+        sweep_mode()
+
+
+def test_warm_delta_switch(monkeypatch):
+    monkeypatch.delenv("REPRO_WARM_DELTA", raising=False)
+    assert warm_delta_enabled()
+    monkeypatch.setenv("REPRO_WARM_DELTA", "0")
+    assert not warm_delta_enabled()
+    monkeypatch.setenv("REPRO_WARM_DELTA", "1")
+    assert warm_delta_enabled()
+
+
+def test_warm_stats_as_dict_keys(monkeypatch):
+    solver = _tiny_solver()
+    monkeypatch.setenv("REPRO_WARM_SWEEP", "heap")
+    solver.solve_round_delta(
+        [0, 1], np.array([0, 1]), np.array([0, 1]), np.array([0, 1]),
+        np.array([1.0, 2.0]),
+    )
+    d = solver.stats.as_dict()
+    for key in (
+        "rounds", "delta_rounds", "rows_total", "rows_kept",
+        "rows_reaugmented", "quick_matches", "heap_pops", "scan_pops",
+        "dual_repairs",
+    ):
+        assert key in d
+    assert d["rounds"] == 1 and d["delta_rounds"] == 1
+    assert d["rows_total"] == 2
