@@ -31,7 +31,7 @@ if __name__ == "__main__":  # standalone: bootstrap repo + src onto the path
         if entry not in sys.path:
             sys.path.insert(0, entry)
 
-from benchmarks.conftest import RESULTS_DIR, emit, emit_json
+from benchmarks.conftest import RESULTS_DIR, emit, emit_json, percentiles
 from repro.chaos import run_chaos_campaign
 from repro.util.tables import format_table
 
@@ -52,6 +52,7 @@ def run_campaigns(scenarios):
             attainment = sum(p.slo_attainment for p in report.phases) / len(
                 report.phases
             )
+            mttr_pct = percentiles(report.resilience.mttr_samples)
             rows.append(
                 [
                     name,
@@ -62,6 +63,8 @@ def run_campaigns(scenarios):
                     report.resilience.invariant_violations,
                     len(report.breaker_transitions) - 1,
                     round(attainment, 4),
+                    round(mttr_pct["p50"], 3),
+                    round(mttr_pct["p99"], 3),
                 ]
             )
         return rows, reports
@@ -83,6 +86,8 @@ def render_table(rows):
             "violations",
             "transitions",
             "mean attainment",
+            "MTTR p50",
+            "MTTR p99",
         ],
         rows,
         title=f"Chaos campaigns (seed {SEED}, fake clock, builtin scenarios)",

@@ -9,7 +9,7 @@ outage-severity sweep over the cloudlet MTBF.
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit, trials_per_point
+from benchmarks.conftest import emit, percentiles, trials_per_point
 from repro.algorithms.heuristic import MatchingHeuristic
 from repro.experiments.resilience import (
     FAULT_SCENARIOS,
@@ -29,6 +29,7 @@ def bench_fault_scenarios(benchmark, results_dir):
         rows = []
         for scenario in sorted(FAULT_SCENARIOS):
             avail = below = success = mttr = degraded = violations = 0.0
+            mttr_samples: list[float] = []
             for child in spawn_rng(as_rng(53), streams):
                 report = run_fault_scenario(
                     scenario, MatchingHeuristic(), NUM_REQUESTS, rng=child
@@ -39,6 +40,8 @@ def bench_fault_scenarios(benchmark, results_dir):
                 mttr += report.mttr
                 degraded += report.chains_degraded
                 violations += report.invariant_violations
+                mttr_samples.extend(report.mttr_samples)
+            pct = percentiles(mttr_samples)
             rows.append(
                 [
                     scenario,
@@ -46,6 +49,9 @@ def bench_fault_scenarios(benchmark, results_dir):
                     round(below / streams, 3),
                     round(success / streams, 4),
                     round(mttr / streams, 4),
+                    round(pct["p50"], 4),
+                    round(pct["p90"], 4),
+                    round(pct["p99"], 4),
                     round(degraded / streams, 2),
                     int(violations),
                 ]
@@ -63,6 +69,9 @@ def bench_fault_scenarios(benchmark, results_dir):
                 "below SLO",
                 "repair ok",
                 "MTTR",
+                "MTTR p50",
+                "MTTR p90",
+                "MTTR p99",
                 "degraded",
                 "violations",
             ],

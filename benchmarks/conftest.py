@@ -26,6 +26,11 @@ import pytest
 
 from repro.experiments.instances import InstanceSpec, build_instance, differential_suite
 
+# Every bench that reports a latency-style distribution uses the same
+# percentile convention (linear interpolation, p50/p90/p99 by default).
+# Re-exported here so benches import it from one place.
+from repro.util.stats import DEFAULT_PERCENTILES, percentiles  # noqa: F401
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Default trials per point for benches (paper: 1000).

@@ -125,6 +125,7 @@ class MatchingHeuristic(AugmentationAlgorithm):
         rebuild_every: int = 0,
         record_trace: bool = False,
         use_arena: bool | None = None,
+        universe_cost_sum: float | None = None,
     ):
         if rebuild_every < 0:
             raise ValidationError(f"rebuild_every must be >= 0, got {rebuild_every}")
@@ -137,6 +138,10 @@ class MatchingHeuristic(AugmentationAlgorithm):
         self.rebuild_every = rebuild_every
         self.record_trace = record_trace
         self.use_arena = use_arena
+        # Warm backend only: override the dummy-cost base B - 1 (see
+        # warm_solver_for).  The streaming service pins this to a fixed
+        # dominating constant so its solo and batched solves share B.
+        self.universe_cost_sum = universe_cost_sum
 
     def solve(
         self, problem: AugmentationProblem, rng: RandomState = None
@@ -218,7 +223,14 @@ class MatchingHeuristic(AugmentationAlgorithm):
         # The warm solver must outlive the round loop (its duals carry
         # between rounds), so it cannot live behind the stateless
         # min_cost_max_matching_arrays interface.
-        warm = warm_solver_for(problem, ledger, arena=arena) if backend == "warm" else None
+        warm = (
+            warm_solver_for(
+                problem, ledger, arena=arena,
+                universe_cost_sum=self.universe_cost_sum,
+            )
+            if backend == "warm"
+            else None
+        )
         warm_delta = warm_delta_enabled() if warm is not None else False
         items = problem.items
         placements: list[Placement] = []
@@ -301,7 +313,11 @@ class MatchingHeuristic(AugmentationAlgorithm):
         # Original item indices alongside `remaining`: the warm solver keys
         # its column duals by them (so both engines address one dual store).
         remaining_idx: list[int] = list(range(len(remaining)))
-        warm = warm_solver_for(problem, ledger) if backend == "warm" else None
+        warm = (
+            warm_solver_for(problem, ledger, universe_cost_sum=self.universe_cost_sum)
+            if backend == "warm"
+            else None
+        )
         warm_delta = warm_delta_enabled() if warm is not None else False
         placements: list[Placement] = []
         counts = [0] * problem.request.chain.length

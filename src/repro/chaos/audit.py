@@ -263,3 +263,34 @@ class InvariantAuditor:
         raise AuditViolationError(
             f"invariant audit failed at t={now:.3f}: {check}{where}", dump
         )
+
+
+def audit_sharded(ledger, now: float = 0.0, context: str = "service") -> None:
+    """Refold audit over a region-sharded ledger (streaming-service hook).
+
+    Extends :meth:`InvariantAuditor._check_cache` to the
+    :class:`repro.service.ledger.ShardedCapacityLedger`: every shard's
+    cached per-node occupancy must equal the in-order fold of that shard's
+    journal **byte-exactly**, and no node may exceed its initial capacity.
+    Raises :class:`~repro.util.errors.AuditViolationError` with the merged
+    divergence map on any disagreement.
+    """
+    drift = ledger.audit_cache()
+    if drift:
+        raise AuditViolationError(
+            f"sharded ledger cache drift at t={now:.3f} ({context}): "
+            f"{len(drift)} node(s) diverge from the journal refold",
+            {"time": now, "check": "sharded-cache-refold", "drift": {
+                str(v): {"cached": cached, "derived": derived}
+                for v, (cached, derived) in drift.items()
+            }},
+        )
+    violations = ledger.violations()
+    if violations:
+        raise AuditViolationError(
+            f"sharded ledger capacity violation at t={now:.3f} ({context}): "
+            f"{len(violations)} node(s) over initial capacity",
+            {"time": now, "check": "sharded-capacity", "violations": {
+                str(v): excess for v, excess in violations.items()
+            }},
+        )

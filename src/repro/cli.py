@@ -187,6 +187,48 @@ def build_parser() -> argparse.ArgumentParser:
     joint.add_argument(
         "--algorithm", choices=sorted(ALGORITHMS), default="heuristic"
     )
+
+    serve = sub.add_parser(
+        "serve", help="streaming admission service: batched replay of a trace"
+    )
+    serve.add_argument("--requests", type=int, default=2000, help="trace length")
+    serve.add_argument("--aps", type=int, default=1280, help="topology size (APs)")
+    serve.add_argument("--rate", type=float, default=200.0, help="base arrival rate")
+    serve.add_argument(
+        "--flash-multiplier",
+        type=float,
+        default=4.0,
+        help="flash-crowd rate multiplier (middle fifth of the trace)",
+    )
+    serve.add_argument(
+        "--window", type=float, default=1.0, help="admission batching window"
+    )
+    serve.add_argument("--shards", type=int, default=8, help="capacity ledger shards")
+    serve.add_argument(
+        "--queue-limit", type=int, default=512, help="per-batch shed cap"
+    )
+    serve.add_argument(
+        "--mode",
+        choices=("batched", "sequential"),
+        default="batched",
+        help="batched = amortized union solves (warm backend); "
+        "sequential = the stock per-request path (identical results)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("auto", "dense") + BACKENDS,
+        default="warm",
+        help="matching backend for the admission solves",
+    )
+    serve.add_argument(
+        "--audit-every", type=int, default=50, help="refold audit cadence (batches)"
+    )
+    serve.add_argument("--seed", type=int, default=1, help="root RNG seed")
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke: short trace; fail unless audits pass and waves amortize",
+    )
     return parser
 
 
@@ -200,6 +242,105 @@ def _emit_series(series: FigureSeries, args: argparse.Namespace) -> None:
     if args.csv:
         path = write_series_csv(series, args.csv)
         print(f"\nwrote {path}")
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: replay a flash-crowd trace batched."""
+    import numpy as np
+
+    from repro.experiments.settings import ExperimentSettings
+    from repro.netmodel.vnf import VNFCatalog
+    from repro.resilience.metrics import MetricsTracker
+    from repro.service import (
+        BatchAdmissionEngine,
+        ShardedCapacityLedger,
+        flash_crowd_phases,
+        replay_trace,
+        synthetic_trace,
+    )
+    from repro.topology.gtitm import WaxmanParameters, generate_gtitm_topology
+    from repro.topology.placement import CloudletPlacementConfig, build_mec_network
+    from repro.util.stats import percentiles
+
+    requests = 1500 if args.smoke else args.requests
+    settings = ExperimentSettings(
+        num_aps=args.aps, capacity_range=(4000, 8000), sfc_length_range=(3, 5)
+    )
+    rng = np.random.default_rng(args.seed)
+    # The Waxman edge probability does not shrink with n: scale alpha down
+    # so large service topologies keep GT-ITM-like mean degree (dense graphs
+    # make every domain overlap and no admission wave ever coalesces).
+    graph = generate_gtitm_topology(
+        args.aps, params=WaxmanParameters(alpha=min(1.0, 0.4 * 100 / args.aps)), rng=rng
+    )
+    network = build_mec_network(
+        graph,
+        config=CloudletPlacementConfig(
+            cloudlet_fraction=0.10, capacity_range=(4000, 8000)
+        ),
+        rng=rng,
+    )
+    catalog = VNFCatalog.random(rng=rng)
+    engine = BatchAdmissionEngine(
+        network,
+        ledger=ShardedCapacityLedger(
+            {v: network.capacity(v) for v in network.cloudlets},
+            num_shards=args.shards,
+        ),
+        backend=args.backend,
+        mode=args.mode,
+        queue_limit=args.queue_limit,
+        rng=np.random.default_rng(args.seed + 1),
+    )
+    metrics = MetricsTracker(record_outcomes=False)
+    trace = synthetic_trace(
+        flash_crowd_phases(requests, base_rate=args.rate,
+                           flash_multiplier=args.flash_multiplier),
+        catalog,
+        settings,
+        rng=np.random.default_rng(args.seed + 2),
+        holding_time=2.0,
+    )
+    stats = replay_trace(
+        engine, trace, window=args.window, metrics=metrics,
+        audit_every=args.audit_every,
+    )
+    all_latencies = [s for samples in stats.latencies.values() for s in samples]
+    pct = percentiles(all_latencies)
+    rows = [
+        ["requests", stats.requests],
+        ["admitted", stats.admitted],
+        ["shed rate", round(stats.shed_rate, 4)],
+        ["throughput (req/s)", round(stats.throughput, 1)],
+        ["latency p50/p90/p99 (ms)",
+         f"{pct['p50'] * 1e3:.2f} / {pct['p90'] * 1e3:.2f} / {pct['p99'] * 1e3:.2f}"],
+        ["batches", engine.stats["batches"]],
+        ["waves (amortized)",
+         f"{engine.stats['waves']} ({engine.stats['amortized_waves']})"],
+        ["audits (violations)", f"{stats.audits} (0)"],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"streaming admission ({network.num_cloudlets} cloudlets, "
+                f"{args.mode} mode, {engine.backend} backend, seed {args.seed})"
+            ),
+        )
+    )
+    if args.smoke:
+        # replay_trace raises on any audit violation, so reaching this point
+        # with audits > 0 means every refold matched; amortized waves prove
+        # the batched union path actually engaged.
+        if stats.audits < 1:
+            print("smoke FAILED: no refold audit ran")
+            return 1
+        if args.mode == "batched" and engine.stats["amortized_waves"] < 1:
+            print("smoke FAILED: no admission wave amortized")
+            return 1
+        print("smoke OK: audits clean, batching amortized")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -291,6 +432,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 ),
             )
         )
+    elif args.command == "serve":
+        return _run_serve(args)
     elif args.command == "batch":
         if args.streams > 1:
             reports = run_stream_ensemble(

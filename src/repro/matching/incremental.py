@@ -162,6 +162,7 @@ def warm_solver_for(
     problem: AugmentationProblem,
     ledger: CapacityLedger,
     arena: "MatrixArena | None" = None,
+    universe_cost_sum: float | None = None,
 ) -> DualReusingSolver:
     """A :class:`DualReusingSolver` sized for one solve's global id spaces.
 
@@ -172,6 +173,12 @@ def warm_solver_for(
     the ``"warm"`` backend.  The solver also carries the problem's memoized
     :class:`UniverseIndex` for this ledger's node order, enabling the
     ``edge_idx`` fast path of ``solve_round_delta``.
+
+    ``universe_cost_sum`` overrides the dummy-cost base ``B - 1``.  The
+    streaming admission service passes a fixed dominating constant here so
+    that a solve over a *union* of independent requests and a solo solve of
+    any one of them share the exact same ``B`` (and hence bit-identical
+    tie-breaking within each request's connected component).
     """
     statics = _statics(problem)
     nodes = ledger.nodes
@@ -182,8 +189,9 @@ def warm_solver_for(
             )
     node_space = max(max(nodes, default=-1), statics.max_node) + 1
     n_items = len(problem.items)
+    base = statics.cost_sum if universe_cost_sum is None else float(universe_cost_sum)
     return DualReusingSolver(
-        node_space, n_items, statics.cost_sum, arena=arena,
+        node_space, n_items, base, arena=arena,
         universe=statics.universe_for(nodes),
     )
 

@@ -68,6 +68,17 @@ class CapacityLedger:
         self._initial: dict[int, float] = {v: float(c) for v, c in capacities.items()}
         self._used: dict[int, float] = {v: 0.0 for v in capacities}
         self._journal: list[Allocation] = []
+        # O(1) running aggregates.  ``_agg_used`` is maintained as *exactly*
+        # the left-to-right fold of the journal's amounts: appends extend the
+        # fold in place, and every journal-compacting operation refolds it
+        # (those operations already walk the whole journal).  That keeps
+        # ``total_used()`` byte-identical to re-summing the journal without
+        # the O(journal) walk on the hot query path.
+        total_initial = 0.0
+        for c in self._initial.values():
+            total_initial += c
+        self._total_initial: float = total_initial
+        self._agg_used: float = 0.0
 
     # -- queries --------------------------------------------------------------
     @property
@@ -131,6 +142,7 @@ class CapacityLedger:
                 f"{self.residual(v):.3f}"
             )
         self._used[v] += amount
+        self._agg_used += amount  # extends the journal fold in place
         alloc = Allocation(v, amount, tag)
         self._journal.append(alloc)
         return alloc
@@ -146,9 +158,12 @@ class CapacityLedger:
         """
         for v in nodes:
             self._used[v] = 0.0
+        agg = 0.0
         for alloc in self._journal:
             if alloc.node in nodes:
                 self._used[alloc.node] += alloc.amount
+            agg += alloc.amount
+        self._agg_used = agg
 
     def release(self, allocation: Allocation) -> None:
         """Return a journaled allocation's capacity (out-of-order release OK)."""
@@ -186,6 +201,51 @@ class CapacityLedger:
         self._recompute(touched)
         return released
 
+    def release_many(self, allocations: Iterable[Allocation]) -> float:
+        """Release several journaled allocations in one journal pass.
+
+        Multiset semantics: each allocation in ``allocations`` consumes one
+        matching journal entry (journal order); a missing entry raises
+        :class:`ValidationError` with nothing released.  Equivalent to
+        calling :meth:`release` per allocation but O(journal) total instead
+        of O(journal) *per allocation* -- the difference between a request
+        departure being constant-ish and quadratic in a long-running
+        service.  Like every out-of-order release, this compacts the
+        journal: do not roll back across it.
+
+        Returns the total amount released.
+        """
+        need: dict[Allocation, int] = {}
+        requested = 0
+        for alloc in allocations:
+            need[alloc] = need.get(alloc, 0) + 1
+            requested += 1
+        if not requested:
+            return 0.0
+        # Verify first so a missing entry releases nothing.
+        remaining = dict(need)
+        for alloc in self._journal:
+            count = remaining.get(alloc, 0)
+            if count:
+                remaining[alloc] = count - 1
+        for alloc, count in remaining.items():
+            if count:
+                raise ValidationError(f"allocation {alloc!r} is not in the journal")
+        released = 0.0
+        touched: set[int] = set()
+        kept: list[Allocation] = []
+        for alloc in self._journal:
+            count = need.get(alloc, 0)
+            if count:
+                need[alloc] = count - 1
+                released += alloc.amount
+                touched.add(alloc.node)
+            else:
+                kept.append(alloc)
+        self._journal = kept
+        self._recompute(touched)
+        return released
+
     def tagged(self, tag: str) -> list[Allocation]:
         """All journaled allocations carrying ``tag``, in allocation order."""
         return [a for a in self._journal if a.tag == tag]
@@ -214,6 +274,26 @@ class CapacityLedger:
     def journal(self) -> list[Allocation]:
         """Copy of the allocation journal, in allocation order."""
         return list(self._journal)
+
+    def total_initial(self) -> float:
+        """Sum of every node's initial capacity -- O(1), computed once."""
+        return self._total_initial
+
+    def total_used(self) -> float:
+        """Total capacity consumed across all nodes -- O(1).
+
+        Maintained as exactly the left-to-right fold of the journal's
+        amounts, so ``total_used()`` equals
+        ``sum(a.amount for a in ledger.journal)`` *byte-for-byte* at all
+        times (the aggregate regression test pins this).  Note this fold
+        order differs from ``sum(ledger.used(v) for v in ledger.nodes)``,
+        which groups by node first -- equal up to float associativity.
+        """
+        return self._agg_used
+
+    def total_residual(self) -> float:
+        """``total_initial() - total_used()`` -- O(1) aggregate residual."""
+        return self._total_initial - self._agg_used
 
     # -- auditing -------------------------------------------------------------
     def derived_used(self) -> dict[int, float]:
@@ -297,6 +377,7 @@ class CapacityLedger:
         clone = CapacityLedger(self._initial)
         clone._used = dict(self._used)
         clone._journal = list(self._journal)
+        clone._agg_used = self._agg_used
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.resilience.repair import RepairOutcome
 from repro.util.errors import ValidationError
+from repro.util.stats import percentiles
 
 
 @dataclass(frozen=True)
@@ -70,20 +71,38 @@ class ResilienceReport:
     mttr_samples: list[float] = field(default_factory=list)
     invariant_violations: int = 0
     final_utilisation: float = 0.0
+    # Streaming-service metrics (zero / empty for plain resilient runs).
+    # Counters mirror the outcome list so reports stay cheap at
+    # million-request scale, where per-request outcome objects are elided
+    # (``MetricsTracker(record_outcomes=False)``).
+    requests_seen: int = 0
+    requests_admitted: int = 0
+    requests_met: int = 0
+    shed_requests: int = 0
+    admission_latencies: list[float] = field(default_factory=list)
+    queue_depths: list[int] = field(default_factory=list)
 
     # -- request-level aggregates ---------------------------------------------
     @property
     def num_requests(self) -> int:
+        if self.requests_seen:
+            return self.requests_seen
         return len(self.outcomes)
 
     @property
     def acceptance_rate(self) -> float:
+        if self.requests_seen:
+            return self.requests_admitted / self.requests_seen
         if not self.outcomes:
             return 0.0
         return sum(o.admitted for o in self.outcomes) / len(self.outcomes)
 
     @property
     def expectation_met_rate(self) -> float:
+        if self.requests_seen:
+            if not self.requests_admitted:
+                return 0.0
+            return self.requests_met / self.requests_admitted
         admitted = [o for o in self.outcomes if o.admitted]
         if not admitted:
             return 0.0
@@ -153,25 +172,37 @@ class ResilienceReport:
         """Breach-to-restoration delay percentiles, e.g. ``{"p50": ...}``.
 
         Linear interpolation between order statistics (the same convention
-        as ``numpy.percentile``'s default), implemented here so reports
-        stay pure-python-serialisable and byte-deterministic.  Empty
-        samples map every quantile to 0.0.
+        as ``numpy.percentile``'s default) via the shared
+        :func:`repro.util.stats.percentiles` helper, so every latency-style
+        report in the repo interpolates identically.  Empty samples map
+        every quantile to 0.0.
         """
-        out: dict[str, float] = {}
-        ordered = sorted(self.mttr_samples)
         for q in quantiles:
             if not (0.0 <= q <= 1.0):
                 raise ValidationError(f"quantile must be in [0, 1], got {q}")
-            label = f"p{q * 100:g}"
-            if not ordered:
-                out[label] = 0.0
-                continue
-            rank = q * (len(ordered) - 1)
-            low = int(rank)
-            high = min(low + 1, len(ordered) - 1)
-            frac = rank - low
-            out[label] = ordered[low] * (1.0 - frac) + ordered[high] * frac
-        return out
+        return percentiles(self.mttr_samples, points=[q * 100 for q in quantiles])
+
+    def latency_percentiles(
+        self, points: tuple[float, ...] = (50.0, 90.0, 99.0)
+    ) -> dict[str, float]:
+        """Admission-latency percentiles (seconds), e.g. ``{"p50": ...}``."""
+        return percentiles(self.admission_latencies, points=points)
+
+    def queue_depth_stats(self) -> dict[str, float]:
+        """Admission-queue depth summary: mean, max, and p50/p90/p99."""
+        depths = self.queue_depths
+        stats = percentiles(depths)
+        stats["mean"] = sum(depths) / len(depths) if depths else 0.0
+        stats["max"] = float(max(depths)) if depths else 0.0
+        return stats
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests shed by backpressure before intake."""
+        offered = self.num_requests + self.shed_requests
+        if not offered:
+            return 0.0
+        return self.shed_requests / offered
 
     def summary_rows(self) -> list[list[object]]:
         """``[metric, value]`` rows for the CLI / benchmark tables."""
@@ -193,19 +224,37 @@ class ResilienceReport:
         ]
         for tier, count in sorted(self.tier_histogram.items()):
             rows.append([f"served by {tier}", count])
+        if self.shed_requests or self.admission_latencies or self.queue_depths:
+            rows.append(["shed requests", self.shed_requests])
+            rows.append(["shed rate", round(self.shed_rate, 4)])
+            for label, value in self.latency_percentiles().items():
+                rows.append([f"admission latency {label}", round(value, 6)])
+            depth = self.queue_depth_stats()
+            rows.append(["queue depth p99", round(depth["p99"], 1)])
+            rows.append(["queue depth max", depth["max"]])
         return rows
 
 
 class MetricsTracker:
     """Event-time accumulator building a :class:`ResilienceReport`."""
 
-    def __init__(self) -> None:
+    def __init__(self, record_outcomes: bool = True) -> None:
         self._report = ResilienceReport(horizon=0.0)
+        # At million-request scale the per-request RequestOutcome objects
+        # dominate memory; the streaming service disables them and relies
+        # on the counters (kept in lockstep either way).
+        self._record_outcomes = record_outcomes
 
     # -- recording --------------------------------------------------------------
     def on_outcome(self, outcome: RequestOutcome) -> None:
         """Record one arrival's commit-time outcome."""
-        self._report.outcomes.append(outcome)
+        self._report.requests_seen += 1
+        if outcome.admitted:
+            self._report.requests_admitted += 1
+            if outcome.expectation_met:
+                self._report.requests_met += 1
+        if self._record_outcomes:
+            self._report.outcomes.append(outcome)
         if outcome.fallback_algorithm is not None:
             if outcome.fallback_tier is not None:
                 key = f"tier {outcome.fallback_tier} ({outcome.fallback_algorithm})"
@@ -253,6 +302,19 @@ class MetricsTracker:
 
     def on_invariant_violation(self) -> None:
         self._report.invariant_violations += 1
+
+    # -- streaming-service recording --------------------------------------------
+    def on_shed(self, count: int = 1) -> None:
+        """Record arrivals shed by admission-queue backpressure."""
+        self._report.shed_requests += count
+
+    def on_queue_depth(self, depth: int) -> None:
+        """Sample the admission-queue depth (taken once per batch window)."""
+        self._report.queue_depths.append(depth)
+
+    def on_admission_latency(self, seconds: float) -> None:
+        """Record one request's enqueue-to-decision wall latency."""
+        self._report.admission_latencies.append(seconds)
 
     @property
     def report(self) -> ResilienceReport:

@@ -325,8 +325,8 @@ class ResilientStreamController:
         """Extension hook: schedule extra events before the loop starts."""
 
     def _finalize(self) -> ResilienceReport:
-        used = sum(self.ledger.used(v) for v in self.ledger.nodes)
-        total = sum(self.ledger.initial(v) for v in self.ledger.nodes)
+        used = self.ledger.total_used()
+        total = self.ledger.total_initial()
         return self.metrics.finalize(
             self.config.horizon,
             event_counts=dict(self.injector.counts),

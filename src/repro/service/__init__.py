@@ -1,0 +1,38 @@
+"""Streaming admission service for the request stream (ROADMAP north star).
+
+Turns the offline request-stream controller into a long-running admission
+service: arrivals and departures are driven on a clock through a
+deterministic event queue (:mod:`repro.service.events`), concurrent
+arrivals are coalesced into admission batches that amortise one BMCGAP
+item-generation pass and one warm-started matching solve across the batch
+(:mod:`repro.service.batch`), capacity lives in a region-sharded ledger
+with transactional cross-shard moves (:mod:`repro.service.ledger`), and
+the replay driver / asyncio front-end live in :mod:`repro.service.server`.
+
+The core contract is *bit-identity*: batched admission produces exactly
+the same outcomes (admit/reject decisions, placements, per-node ledger
+state) as admitting the same requests one at a time in arrival order.
+"""
+
+from repro.service.batch import SERVICE_COST_CAP, AdmissionRecord, BatchAdmissionEngine
+from repro.service.events import ARRIVE, DEPART, ServiceEvent, ServiceEventQueue
+from repro.service.ledger import ShardedCapacityLedger
+from repro.service.server import AdmissionService, ReplayStats, replay_trace
+from repro.service.trace import TracePhase, flash_crowd_phases, synthetic_trace
+
+__all__ = [
+    "ARRIVE",
+    "DEPART",
+    "AdmissionRecord",
+    "AdmissionService",
+    "BatchAdmissionEngine",
+    "ReplayStats",
+    "SERVICE_COST_CAP",
+    "ServiceEvent",
+    "ServiceEventQueue",
+    "ShardedCapacityLedger",
+    "TracePhase",
+    "flash_crowd_phases",
+    "replay_trace",
+    "synthetic_trace",
+]

@@ -1,0 +1,272 @@
+"""Region-sharded capacity ledger for the streaming admission service.
+
+A long-running service funnels every capacity mutation of every request
+through the ledger; a single monolithic journal makes each departure and
+audit O(total journal).  :class:`ShardedCapacityLedger` splits the cloudlet
+set into contiguous *regions* (sorted cloudlet ids, block-partitioned) and
+gives each region its own :class:`~repro.netmodel.capacity.CapacityLedger`:
+
+* Per-node operations (allocate / residual / fits) route to one shard --
+  journals stay short, departures touch only the shards the request used.
+* Per-node state is **byte-identical** to a monolithic ledger fed the same
+  allocation sequence: a node's ``used`` is the in-order fold of *its own*
+  journal entries, and every entry for a node lives in exactly one shard,
+  so the fold is the same sequence either way.  (Cross-*node* aggregates
+  like :meth:`total_used` sum per-shard folds and therefore differ from a
+  monolithic ledger only in float association order.)
+* Cross-shard moves are transactional: allocate at the target shard, then
+  release at the source; if the release fails the target shard rolls back
+  to its checkpoint byte-exactly (no interleaved releases can occur within
+  the move).
+* The refold audit extends per shard: :meth:`audit_cache` merges every
+  shard's exact cache-vs-journal comparison, and
+  :func:`repro.chaos.audit.audit_sharded` raises on any divergence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.netmodel.capacity import Allocation, CapacityLedger
+from repro.util.errors import ValidationError
+
+
+class ShardedCapacityLedger:
+    """Capacity ledger block-sharded by cloudlet region.
+
+    Parameters
+    ----------
+    capacities:
+        ``{cloudlet: MHz}`` initial capacities, as for
+        :class:`~repro.netmodel.capacity.CapacityLedger`.
+    num_shards:
+        Number of regions.  Cloudlet ids are sorted and split into
+        ``num_shards`` contiguous blocks (edge cloudlets are placed by
+        geography, so contiguous id ranges approximate regions); clamped
+        to the node count.
+    """
+
+    def __init__(self, capacities: Mapping[int, float], num_shards: int = 8):
+        if num_shards < 1:
+            raise ValidationError(f"num_shards must be >= 1, got {num_shards}")
+        self._nodes: list[int] = list(capacities)
+        count = len(self._nodes)
+        self.num_shards = min(num_shards, count) if count else 1
+        ordered = sorted(self._nodes)
+        self._shard_of: dict[int, int] = {}
+        blocks: list[list[int]] = [[] for _ in range(self.num_shards)]
+        for rank, v in enumerate(ordered):
+            shard = rank * self.num_shards // max(count, 1)
+            self._shard_of[v] = shard
+            blocks[shard].append(v)
+        # Each shard's ledger keeps its nodes in *global* insertion order so
+        # per-shard reports stay deterministic under dict-order inputs.
+        self._shards: list[CapacityLedger] = []
+        for shard in range(self.num_shards):
+            members = set(blocks[shard])
+            self._shards.append(
+                CapacityLedger({v: capacities[v] for v in self._nodes if v in members})
+            )
+
+    # -- topology -------------------------------------------------------------
+    @property
+    def nodes(self) -> list[int]:
+        """All tracked cloudlet ids, in original insertion order."""
+        return list(self._nodes)
+
+    @property
+    def shards(self) -> Sequence[CapacityLedger]:
+        """The per-region ledgers (read-only view for audits/benchmarks)."""
+        return tuple(self._shards)
+
+    def shard_of(self, v: int) -> int:
+        """Region index owning cloudlet ``v``."""
+        try:
+            return self._shard_of[v]
+        except KeyError:
+            raise KeyError(f"unknown cloudlet {v!r}") from None
+
+    def _shard(self, v: int) -> CapacityLedger:
+        return self._shards[self.shard_of(v)]
+
+    # -- per-node queries (route to one shard) --------------------------------
+    def initial(self, v: int) -> float:
+        return self._shard(v).initial(v)
+
+    def used(self, v: int) -> float:
+        return self._shard(v).used(v)
+
+    def residual(self, v: int) -> float:
+        return self._shard(v).residual(v)
+
+    def fits(self, v: int, amount: float) -> bool:
+        return self._shard(v).fits(v, amount)
+
+    def max_units(self, v: int, unit: float) -> int:
+        return self._shard(v).max_units(v, unit)
+
+    def residuals(self) -> dict[int, float]:
+        """Node -> residual over *all* shards, in global insertion order.
+
+        The admission engine feeds this dict to problem builds; its order
+        fixes row order in the matching, so it must not depend on the
+        sharding layout.
+        """
+        return {v: self._shard(v).residual(v) for v in self._nodes}
+
+    # -- mutation -------------------------------------------------------------
+    def allocate(
+        self, v: int, amount: float, tag: str = "", allow_violation: bool = False
+    ) -> Allocation:
+        return self._shard(v).allocate(v, amount, tag, allow_violation=allow_violation)
+
+    def release(self, allocation: Allocation) -> None:
+        self._shard(allocation.node).release(allocation)
+
+    def release_tag(self, tag: str) -> float:
+        return sum(shard.release_tag(tag) for shard in self._shards)
+
+    def release_many(self, allocations: Iterable[Allocation]) -> float:
+        """Release allocations spanning any number of shards, atomically.
+
+        Two-phase: every involved shard verifies its slice of the multiset
+        first (dry-run via the shard's own verify-then-remove semantics is
+        not directly exposed, so membership is checked against shard
+        journals here); only then does any shard compact.  A missing entry
+        therefore raises with *nothing* released on *any* shard.
+        """
+        by_shard: dict[int, list[Allocation]] = {}
+        for alloc in allocations:
+            by_shard.setdefault(self.shard_of(alloc.node), []).append(alloc)
+        if not by_shard:
+            return 0.0
+        # Phase 1: verify each shard's slice against its journal (multiset).
+        for shard_idx, allocs in by_shard.items():
+            need: dict[Allocation, int] = {}
+            for alloc in allocs:
+                need[alloc] = need.get(alloc, 0) + 1
+            for entry in self._shards[shard_idx]._journal:
+                count = need.get(entry, 0)
+                if count:
+                    need[entry] = count - 1
+            for alloc, count in need.items():
+                if count:
+                    raise ValidationError(
+                        f"allocation {alloc!r} is not in shard {shard_idx}'s journal"
+                    )
+        # Phase 2: every shard verified -- no shard-level release can fail.
+        released = 0.0
+        for shard_idx, allocs in by_shard.items():
+            released += self._shards[shard_idx].release_many(allocs)
+        return released
+
+    def move(
+        self, allocation: Allocation, target: int, tag: str | None = None
+    ) -> Allocation:
+        """Transactionally move a journaled allocation to cloudlet ``target``.
+
+        Allocates ``allocation.amount`` at the target first (strict mode),
+        then releases the source entry.  If the source release fails, the
+        target shard rolls back to its pre-move checkpoint byte-exactly and
+        the error propagates -- the ledger is unchanged.  Works within one
+        shard or across two.
+
+        Returns the new journaled allocation at ``target``.
+        """
+        target_shard = self._shard(target)
+        mark = target_shard.checkpoint()
+        moved = target_shard.allocate(
+            target, allocation.amount, allocation.tag if tag is None else tag
+        )
+        try:
+            self._shard(allocation.node).release(allocation)
+        except ValidationError:
+            target_shard.rollback(mark)
+            raise
+        return moved
+
+    # -- checkpointing --------------------------------------------------------
+    def checkpoint(self) -> tuple[int, ...]:
+        """Per-shard journal positions; pass to :meth:`rollback`."""
+        return tuple(shard.checkpoint() for shard in self._shards)
+
+    def rollback(self, checkpoint: tuple[int, ...]) -> None:
+        """Undo every allocation after ``checkpoint`` on every shard."""
+        if len(checkpoint) != len(self._shards):
+            raise ValidationError(
+                f"checkpoint arity {len(checkpoint)} != shard count {len(self._shards)}"
+            )
+        for shard, mark in zip(self._shards, checkpoint):
+            shard.rollback(mark)
+
+    # -- aggregates / reporting ----------------------------------------------
+    @property
+    def journal(self) -> list[Allocation]:
+        """All shards' journals concatenated in shard order.
+
+        Note: this is *not* the global allocation order (each shard only
+        preserves order among its own nodes) -- use per-shard journals for
+        order-sensitive forensics.
+        """
+        out: list[Allocation] = []
+        for shard in self._shards:
+            out.extend(shard.journal)
+        return out
+
+    def journal_sizes(self) -> list[int]:
+        return [len(shard._journal) for shard in self._shards]
+
+    def tagged(self, tag: str) -> list[Allocation]:
+        out: list[Allocation] = []
+        for shard in self._shards:
+            out.extend(shard.tagged(tag))
+        return out
+
+    def total_initial(self) -> float:
+        return sum(shard.total_initial() for shard in self._shards)
+
+    def total_used(self) -> float:
+        """Sum of per-shard O(1) aggregates -- O(shards) per query."""
+        return sum(shard.total_used() for shard in self._shards)
+
+    def total_residual(self) -> float:
+        return sum(shard.total_residual() for shard in self._shards)
+
+    def violations(self) -> dict[int, float]:
+        out: dict[int, float] = {}
+        for shard in self._shards:
+            out.update(shard.violations())
+        return out
+
+    def usage_ratio(self, v: int) -> float:
+        return self._shard(v).usage_ratio(v)
+
+    # -- auditing -------------------------------------------------------------
+    def derived_used(self) -> dict[int, float]:
+        """Journal refold per node, merged across shards (audit entry point)."""
+        out: dict[int, float] = {}
+        for shard in self._shards:
+            out.update(shard.derived_used())
+        return {v: out[v] for v in self._nodes}
+
+    def audit_cache(self) -> dict[int, tuple[float, float]]:
+        """Merged exact cache-vs-refold divergences; empty when healthy."""
+        out: dict[int, tuple[float, float]] = {}
+        for shard in self._shards:
+            out.update(shard.audit_cache())
+        return out
+
+    def copy(self) -> "ShardedCapacityLedger":
+        clone = ShardedCapacityLedger.__new__(ShardedCapacityLedger)
+        clone._nodes = list(self._nodes)
+        clone.num_shards = self.num_shards
+        clone._shard_of = dict(self._shard_of)
+        clone._shards = [shard.copy() for shard in self._shards]
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedCapacityLedger(nodes={len(self._nodes)}, "
+            f"shards={self.num_shards}, "
+            f"used={self.total_used():.0f}/{self.total_initial():.0f})"
+        )

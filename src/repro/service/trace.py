@@ -1,0 +1,104 @@
+"""Synthetic arrival traces for the streaming admission service.
+
+The million-request benchmark needs a trace with two regimes:
+
+* **Poisson phases**: memoryless arrivals at a steady rate -- the service's
+  cruising load;
+* **flash-crowd phases**: the rate multiplies for a short burst, arrivals
+  pile into the same admission windows, and batching either amortizes the
+  solve cost or the queue sheds -- the regime the batch-amortization
+  acceptance criterion measures.
+
+Traces are generated lazily (a generator of ``(time, request, holding)``
+tuples) so the 1M-request benchmark never materialises the whole trace.
+The trace RNG is separate from the service's placement RNG: the *same*
+trace replayed under ``mode="batched"`` and ``mode="sequential"`` must
+present identical requests, while the service draws identical placements
+from its own stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.workload import make_request
+from repro.netmodel.vnf import Request, VNFCatalog
+from repro.util.errors import ValidationError
+from repro.util.rng import RandomState, as_rng
+
+
+@dataclass(frozen=True)
+class TracePhase:
+    """One homogeneous segment of a trace.
+
+    Attributes
+    ----------
+    requests:
+        Number of arrivals in this phase.
+    rate:
+        Mean arrivals per unit time (Poisson: exponential inter-arrivals
+        with mean ``1 / rate``).
+    label:
+        Phase tag (``"poisson"`` / ``"flash"``) carried into per-phase
+        benchmark metrics.
+    """
+
+    requests: int
+    rate: float
+    label: str = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.requests < 0:
+            raise ValidationError(f"requests must be >= 0, got {self.requests}")
+        if self.rate <= 0:
+            raise ValidationError(f"rate must be > 0, got {self.rate}")
+
+
+def flash_crowd_phases(
+    total_requests: int,
+    base_rate: float = 50.0,
+    flash_multiplier: float = 20.0,
+    flash_fraction: float = 0.2,
+) -> tuple[TracePhase, ...]:
+    """The benchmark's canonical shape: cruise / flash crowd / cruise.
+
+    ``flash_fraction`` of the requests arrive in the middle phase at
+    ``flash_multiplier`` times the base rate.
+    """
+    if total_requests < 3:
+        raise ValidationError(f"need >= 3 requests, got {total_requests}")
+    flash = max(1, int(total_requests * flash_fraction))
+    lead = (total_requests - flash) // 2
+    tail = total_requests - flash - lead
+    return (
+        TracePhase(lead, base_rate, "poisson"),
+        TracePhase(flash, base_rate * flash_multiplier, "flash"),
+        TracePhase(tail, base_rate, "poisson"),
+    )
+
+
+def synthetic_trace(
+    phases: tuple[TracePhase, ...],
+    catalog: VNFCatalog,
+    settings: ExperimentSettings,
+    rng: RandomState = None,
+    holding_time: float = 50.0,
+) -> Iterator[tuple[float, Request, float, str]]:
+    """Lazily yield ``(arrival_time, request, holding_time, phase_label)``.
+
+    Inter-arrival gaps are exponential with the phase's rate; holding
+    times are exponential with mean ``holding_time``.  Request names embed
+    a running index, so every request in a trace is uniquely named.
+    """
+    gen = as_rng(rng)
+    now = 0.0
+    index = 0
+    for phase in phases:
+        for _ in range(phase.requests):
+            now += float(gen.exponential(1.0 / phase.rate))
+            request = make_request(settings, catalog, gen, name=f"req-{index}")
+            holding = float(gen.exponential(holding_time))
+            yield (now, request, holding, phase.label)
+            index += 1

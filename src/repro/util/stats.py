@@ -1,0 +1,56 @@
+"""Small, dependency-free statistics helpers shared by metrics and benches.
+
+The repo reports latency-style distributions in several places (MTTR in the
+resilience report, admission latency in the streaming service, per-phase
+latencies in the benchmark records).  They must all use the *same*
+percentile convention, and it must be pure python so reports stay
+serialisable and byte-deterministic across numpy versions.  The convention
+is linear interpolation between order statistics -- numpy.percentile's
+default -- implemented once here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.util.errors import ValidationError
+
+#: The canonical report points: median, tail, deep tail.
+DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def percentile(ordered: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of an already *sorted* sequence.
+
+    Linear interpolation between closest ranks (numpy.percentile's default
+    ``linear`` method).  Raises on an empty sequence -- callers decide what
+    an empty distribution means (the report helpers map it to 0.0).
+    """
+    if not (0.0 <= q <= 100.0):
+        raise ValidationError(f"percentile must be in [0, 100], got {q}")
+    if not ordered:
+        raise ValidationError("percentile of an empty sequence")
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def percentiles(
+    values: Iterable[float],
+    points: Sequence[float] = DEFAULT_PERCENTILES,
+    empty: float = 0.0,
+) -> dict[str, float]:
+    """``{"p50": ..., "p90": ..., "p99": ...}`` for ``values``.
+
+    ``values`` need not be sorted (one sort happens here).  An empty input
+    maps every point to ``empty`` (default 0.0) rather than raising -- the
+    convention every report in this repo already follows for MTTR.
+    """
+    ordered = sorted(values)
+    out: dict[str, float] = {}
+    for q in points:
+        label = f"p{q:g}"
+        out[label] = percentile(ordered, q) if ordered else empty
+    return out

@@ -246,3 +246,72 @@ class TestReleaseTag:
         assert ledger.release_tag(victim) == pytest.approx(float(expected))
         assert ledger.used(0) == pytest.approx(used_before - expected)
         assert all(a.tag != victim for a in ledger.journal)
+
+
+class TestRunningAggregates:
+    """Satellite regression: the O(1) running aggregates must stay
+    *byte-identical* to the journal fold through every mutation path
+    (allocate / release / release_tag / release_many / rollback)."""
+
+    def journal_fold(self, ledger):
+        total = 0.0
+        for alloc in ledger.journal:
+            total += alloc.amount
+        return total
+
+    def test_o1_accessors_exist_and_start_clean(self):
+        ledger = CapacityLedger({0: 100.0, 1: 50.0})
+        assert ledger.total_initial() == 150.0
+        assert ledger.total_used() == 0.0
+        assert ledger.total_residual() == 150.0
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["alloc", "release", "tag", "many", "rollback"]),
+                st.integers(min_value=0, max_value=2),
+                st.floats(min_value=0.1, max_value=30.0),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_used_equals_journal_fold_byte_exact(self, ops):
+        ledger = CapacityLedger({0: 1e5, 1: 1e5, 2: 1e5})
+        live = []
+        mark = ledger.checkpoint()
+        for kind, node, amount in ops:
+            if kind == "alloc":
+                live.append(ledger.allocate(node, amount, tag=f"t{node}"))
+            elif kind == "release" and live:
+                ledger.release(live.pop())
+            elif kind == "tag":
+                ledger.release_tag(f"t{node}")
+                live = [a for a in live if a.tag != f"t{node}"]
+            elif kind == "many" and live:
+                half = live[: len(live) // 2 + 1]
+                ledger.release_many(half)
+                live = live[len(half):]
+            elif kind == "rollback":
+                ledger.rollback(mark)
+                live = []
+                mark = ledger.checkpoint()
+            # Byte-exact, not approx: the aggregate IS the journal fold.
+            assert ledger.total_used() == self.journal_fold(ledger)
+            assert ledger.total_residual() == ledger.total_initial() - ledger.total_used()
+
+    def test_aggregate_tracks_violation_allocations(self):
+        ledger = CapacityLedger({0: 10.0})
+        ledger.allocate(0, 25.0, allow_violation=True)
+        assert ledger.total_used() == 25.0
+        assert ledger.total_residual() == -15.0
+
+    def test_copy_carries_aggregates(self):
+        ledger = CapacityLedger({0: 100.0})
+        ledger.allocate(0, 40.0)
+        clone = ledger.copy()
+        assert clone.total_used() == 40.0
+        clone.release_tag("")
+        assert clone.total_used() == 0.0
+        assert ledger.total_used() == 40.0

@@ -1,0 +1,106 @@
+"""Deterministic ordering of the service event queue.
+
+Mirrors the PR 6 stable-ordering fix for the simulation engine's
+``EventQueue``: same-timestamp events must pop in a deterministic order
+independent of heap internals or caller iteration order -- here with the
+service-specific refinement that departures precede arrivals at equal
+timestamps and insertion order breaks the remaining ties (seq-numbered
+heap).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.events import ARRIVE, DEPART, ServiceEventQueue
+from repro.util.errors import ValidationError
+
+
+def drain(queue: ServiceEventQueue) -> list[tuple[float, int, object]]:
+    out = []
+    while len(queue):
+        e = queue.pop()
+        out.append((e.time, e.priority, e.payload))
+    return out
+
+
+class TestTieBreaking:
+    def test_departures_before_arrivals_at_equal_time(self):
+        queue = ServiceEventQueue()
+        queue.push_arrival(5.0, "a1")
+        queue.push_departure(5.0, "d1")
+        queue.push_arrival(5.0, "a2")
+        queue.push_departure(5.0, "d2")
+        assert drain(queue) == [
+            (5.0, DEPART, "d1"),
+            (5.0, DEPART, "d2"),
+            (5.0, ARRIVE, "a1"),
+            (5.0, ARRIVE, "a2"),
+        ]
+
+    def test_fifo_within_same_time_and_kind(self):
+        """The seq-numbered heap regression: heapq alone is not stable."""
+        queue = ServiceEventQueue()
+        payloads = [f"r{i}" for i in range(50)]
+        for p in payloads:
+            queue.push_arrival(1.0, p)
+        assert [e[2] for e in drain(queue)] == payloads
+
+    def test_time_dominates_priority(self):
+        queue = ServiceEventQueue()
+        queue.push_departure(2.0, "late-depart")
+        queue.push_arrival(1.0, "early-arrive")
+        assert [e[2] for e in drain(queue)] == ["early-arrive", "late-depart"]
+
+    def test_schedule_batch_is_insertion_order_independent(self):
+        """Mirror of the PR 6 fix: the same event *set* scheduled in any
+        order yields the same pop sequence (stable payload-keyed presort)."""
+        events = [
+            (1.0, ARRIVE, ("req", i % 3)) for i in range(6)
+        ] + [(1.0, DEPART, ("dep", i)) for i in range(3)]
+        queue_fwd = ServiceEventQueue()
+        queue_fwd.schedule_batch(events)
+        queue_rev = ServiceEventQueue()
+        queue_rev.schedule_batch(list(reversed(events)))
+        assert drain(queue_fwd) == drain(queue_rev)
+
+
+class TestQueueContract:
+    def test_rejects_scheduling_in_the_past(self):
+        queue = ServiceEventQueue()
+        queue.push_arrival(10.0, "a")
+        queue.pop()
+        with pytest.raises(ValidationError):
+            queue.push_arrival(9.0, "too-late")
+
+    def test_rejects_unknown_priority(self):
+        queue = ServiceEventQueue()
+        with pytest.raises(ValidationError):
+            queue.push(1.0, 7, "x")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(ValidationError):
+            ServiceEventQueue().pop()
+
+    def test_pop_until_respects_kind_filter(self):
+        queue = ServiceEventQueue()
+        queue.push_departure(1.0, "d1")
+        queue.push_arrival(2.0, "a1")
+        queue.push_departure(3.0, "d2")
+        popped = queue.pop_until(5.0, priority=DEPART)
+        # Stops at the due arrival; d2 stays queued behind it.
+        assert [e.payload for e in popped] == ["d1"]
+        assert len(queue) == 2
+
+    def test_pop_until_time_bound(self):
+        queue = ServiceEventQueue()
+        for t in (1.0, 2.0, 3.0):
+            queue.push_departure(t, f"d{t}")
+        assert [e.payload for e in queue.pop_until(2.0)] == ["d1.0", "d2.0"]
+        assert queue.now == 2.0
+
+    def test_peek_does_not_pop(self):
+        queue = ServiceEventQueue()
+        queue.push_arrival(1.0, "a")
+        assert queue.peek().payload == "a"
+        assert len(queue) == 1

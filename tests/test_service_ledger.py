@@ -1,0 +1,196 @@
+"""Sharded capacity ledger: equivalence with the monolithic ledger,
+transactional cross-shard moves, and atomic multi-shard release."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chaos.audit import AuditViolationError, audit_sharded
+from repro.netmodel.capacity import CapacityLedger
+from repro.service.ledger import ShardedCapacityLedger
+from repro.util.errors import ValidationError
+
+
+def make_pair(num_nodes=24, num_shards=5, seed=0):
+    rng = np.random.default_rng(seed)
+    capacities = {v: float(rng.integers(500, 1500)) for v in range(num_nodes)}
+    return CapacityLedger(capacities), ShardedCapacityLedger(capacities, num_shards)
+
+
+def random_workload(mono, sharded, rng, steps=300):
+    """Drive both ledgers through the same random op sequence."""
+    live_m, live_s = [], []
+    for step in range(steps):
+        op = rng.random()
+        if op < 0.6 or not live_m:
+            v = int(rng.choice(mono.nodes))
+            amount = float(rng.integers(1, 50))
+            if not mono.fits(v, amount):
+                continue
+            tag = f"t{step % 7}"
+            live_m.append(mono.allocate(v, amount, tag))
+            live_s.append(sharded.allocate(v, amount, tag))
+        elif op < 0.85:
+            i = int(rng.integers(0, len(live_m)))
+            mono.release(live_m.pop(i))
+            sharded.release(live_s.pop(i))
+        else:
+            tag = f"t{int(rng.integers(0, 7))}"
+            assert mono.release_tag(tag) == pytest.approx(sharded.release_tag(tag))
+            live_m = [a for a in live_m if a.tag != tag]
+            live_s = [a for a in live_s if a.tag != tag]
+    return live_m, live_s
+
+
+class TestMonolithicEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("num_shards", [1, 3, 8])
+    def test_per_node_state_byte_identical(self, seed, num_shards):
+        mono, sharded = make_pair(num_shards=num_shards, seed=seed)
+        random_workload(mono, sharded, np.random.default_rng(seed + 100))
+        for v in mono.nodes:
+            # Byte-exact: same per-node journal fold either way.
+            assert sharded.used(v) == mono.used(v)
+            assert sharded.residual(v) == mono.residual(v)
+        assert sharded.residuals() == {v: mono.residual(v) for v in mono.nodes}
+        assert sharded.derived_used() == mono.derived_used()
+
+    def test_aggregates_match_journal_sum(self):
+        _, sharded = make_pair()
+        rng = np.random.default_rng(7)
+        for step in range(200):
+            v = int(rng.choice(sharded.nodes))
+            amount = float(rng.integers(1, 40))
+            if sharded.fits(v, amount):
+                sharded.allocate(v, amount, f"t{step % 4}")
+            if step % 9 == 0:
+                sharded.release_tag(f"t{step % 4}")
+        # O(shards) aggregates vs explicit sums over nodes / journal.
+        assert sharded.total_used() == pytest.approx(
+            sum(sharded.used(v) for v in sharded.nodes)
+        )
+        assert sharded.total_used() == pytest.approx(
+            sum(a.amount for a in sharded.journal)
+        )
+        assert sharded.total_residual() == pytest.approx(
+            sharded.total_initial() - sharded.total_used()
+        )
+
+    def test_shard_partition_covers_all_nodes_once(self):
+        _, sharded = make_pair(num_nodes=17, num_shards=4)
+        seen = []
+        for shard in sharded.shards:
+            seen.extend(shard.nodes)
+        assert sorted(seen) == sorted(sharded.nodes)
+        for v in sharded.nodes:
+            assert v in sharded.shards[sharded.shard_of(v)].nodes
+
+    def test_shards_clamped_to_node_count(self):
+        sharded = ShardedCapacityLedger({0: 10.0, 1: 10.0}, num_shards=16)
+        assert sharded.num_shards == 2
+        with pytest.raises(ValidationError):
+            ShardedCapacityLedger({0: 10.0}, num_shards=0)
+
+
+class TestCheckpointRollback:
+    def test_rollback_is_byte_exact(self):
+        mono, sharded = make_pair(seed=5)
+        random_workload(mono, sharded, np.random.default_rng(55), steps=100)
+        before = {v: sharded.used(v) for v in sharded.nodes}
+        mark = sharded.checkpoint()
+        rng = np.random.default_rng(56)
+        for _ in range(30):
+            v = int(rng.choice(sharded.nodes))
+            if sharded.fits(v, 10.0):
+                sharded.allocate(v, 10.0, "speculative")
+        sharded.rollback(mark)
+        assert {v: sharded.used(v) for v in sharded.nodes} == before
+        assert sharded.checkpoint() == mark
+
+    def test_rollback_arity_mismatch_rejected(self):
+        _, sharded = make_pair(num_shards=4)
+        with pytest.raises(ValidationError):
+            sharded.rollback((0, 0))
+
+
+class TestCrossShardMove:
+    def test_move_across_shards(self):
+        _, sharded = make_pair(num_nodes=20, num_shards=4)
+        src, dst = sharded.nodes[0], sharded.nodes[-1]
+        assert sharded.shard_of(src) != sharded.shard_of(dst)
+        alloc = sharded.allocate(src, 25.0, "svc")
+        moved = sharded.move(alloc, dst)
+        assert moved.node == dst and moved.amount == 25.0 and moved.tag == "svc"
+        assert sharded.used(src) == 0.0
+        assert sharded.used(dst) == 25.0
+        assert not sharded.audit_cache()
+
+    def test_failed_move_rolls_back_target_byte_exact(self):
+        _, sharded = make_pair(num_nodes=20, num_shards=4)
+        src, dst = sharded.nodes[0], sharded.nodes[-1]
+        alloc = sharded.allocate(src, 25.0, "svc")
+        sharded.release(alloc)  # source entry now gone -> release must fail
+        before_used = {v: sharded.used(v) for v in sharded.nodes}
+        before_sizes = sharded.journal_sizes()
+        with pytest.raises(ValidationError):
+            sharded.move(alloc, dst)
+        assert {v: sharded.used(v) for v in sharded.nodes} == before_used
+        assert sharded.journal_sizes() == before_sizes
+        assert not sharded.audit_cache()
+
+    def test_move_rejects_overfull_target(self):
+        _, sharded = make_pair(num_nodes=20, num_shards=4)
+        src, dst = sharded.nodes[0], sharded.nodes[-1]
+        alloc = sharded.allocate(src, 25.0, "svc")
+        sharded.allocate(dst, sharded.residual(dst), "filler")
+        with pytest.raises(Exception):
+            sharded.move(alloc, dst)
+        assert sharded.used(src) == 25.0  # source untouched
+
+
+class TestAtomicReleaseMany:
+    def test_release_many_spans_shards(self):
+        _, sharded = make_pair(num_nodes=20, num_shards=4)
+        allocs = [sharded.allocate(v, 5.0, "req") for v in sharded.nodes[:10]]
+        released = sharded.release_many(allocs)
+        assert released == pytest.approx(50.0)
+        assert sharded.total_used() == 0.0
+
+    def test_missing_entry_releases_nothing_anywhere(self):
+        _, sharded = make_pair(num_nodes=20, num_shards=4)
+        allocs = [sharded.allocate(v, 5.0, "req") for v in sharded.nodes[:10]]
+        victim = allocs[7]
+        sharded.release(victim)  # now absent from its shard's journal
+        before = {v: sharded.used(v) for v in sharded.nodes}
+        with pytest.raises(ValidationError):
+            sharded.release_many(allocs)
+        # Atomicity: shards verified before any compaction, so even shards
+        # holding valid entries released nothing.
+        assert {v: sharded.used(v) for v in sharded.nodes} == before
+
+    def test_release_many_empty_is_noop(self):
+        _, sharded = make_pair()
+        assert sharded.release_many([]) == 0.0
+
+
+class TestAudit:
+    def test_audit_sharded_passes_on_healthy_ledger(self):
+        mono, sharded = make_pair(seed=9)
+        random_workload(mono, sharded, np.random.default_rng(99), steps=150)
+        audit_sharded(sharded, now=1.0)
+
+    def test_audit_sharded_raises_on_violation(self):
+        _, sharded = make_pair()
+        v = sharded.nodes[0]
+        sharded.allocate(v, sharded.initial(v) + 100.0, "boom", allow_violation=True)
+        with pytest.raises(AuditViolationError):
+            audit_sharded(sharded, now=2.0)
+
+    def test_copy_is_independent(self):
+        _, sharded = make_pair()
+        sharded.allocate(sharded.nodes[0], 10.0, "a")
+        clone = sharded.copy()
+        clone.allocate(clone.nodes[0], 10.0, "b")
+        assert sharded.used(sharded.nodes[0]) == 10.0
+        assert clone.used(clone.nodes[0]) == 20.0

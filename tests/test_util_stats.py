@@ -1,0 +1,77 @@
+"""The shared percentile convention (linear interpolation between ranks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.errors import ValidationError
+from repro.util.stats import DEFAULT_PERCENTILES, percentile, percentiles
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 0.0) == 5.0
+        assert percentile([5.0], 50.0) == 5.0
+        assert percentile([5.0], 100.0) == 5.0
+
+    def test_linear_interpolation(self):
+        # Two values: p50 is the midpoint under the linear method.
+        assert percentile([0.0, 10.0], 50.0) == 5.0
+        assert percentile([0.0, 10.0], 25.0) == 2.5
+
+    def test_endpoints(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 100.0) == 4.0
+
+    def test_rejects_out_of_range_and_empty(self):
+        with pytest.raises(ValidationError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValidationError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValidationError):
+            percentile([], 50.0)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+        q=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_numpy_linear_method(self, values, q):
+        """The whole point of the helper: one convention, numpy's default."""
+        ours = percentile(sorted(values), q)
+        theirs = float(np.percentile(np.asarray(values), q))
+        assert ours == pytest.approx(theirs, rel=1e-12, abs=1e-9)
+
+
+class TestPercentiles:
+    def test_default_points_and_labels(self):
+        out = percentiles(range(101))
+        assert set(out) == {"p50", "p90", "p99"}
+        assert out["p50"] == 50.0
+        assert out["p90"] == 90.0
+        assert out["p99"] == 99.0
+        assert DEFAULT_PERCENTILES == (50.0, 90.0, 99.0)
+
+    def test_unsorted_input(self):
+        assert percentiles([3.0, 1.0, 2.0])["p50"] == 2.0
+
+    def test_empty_maps_to_default(self):
+        assert percentiles([]) == {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+        assert percentiles([], empty=float("nan"))["p50"] != 0.0
+
+    def test_custom_points_label_format(self):
+        out = percentiles([1.0, 2.0], points=(99.9,))
+        assert list(out) == ["p99.9"]
+
+    def test_monotone_in_q(self):
+        data = [7.0, 1.0, 4.0, 9.0, 2.0]
+        out = percentiles(data, points=(10.0, 50.0, 90.0))
+        assert out["p10"] <= out["p50"] <= out["p90"]
