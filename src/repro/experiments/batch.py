@@ -329,7 +329,13 @@ def run_request_stream(
 
 @dataclass(frozen=True)
 class StreamTask:
-    """One independent request stream of an ensemble, described by value."""
+    """One independent request stream of an ensemble, described by value.
+
+    The classic (``REPRO_SHM=0``) work unit: when the ensemble shares a
+    ``network``, every task carries its own pickled copy of it -- exactly
+    the per-task redundancy the shared-memory path removes by publishing
+    the network's CSR arrays once per ensemble.
+    """
 
     settings: ExperimentSettings
     algorithm_spec: "object"  # repro.parallel.tasks.AlgorithmSpec
@@ -337,6 +343,7 @@ class StreamTask:
     seed: np.random.SeedSequence
     index: int = 0
     bit_generator: str = "PCG64"
+    network: MECNetwork | None = None
 
 
 def _execute_stream(task: StreamTask) -> BatchReport:
@@ -347,6 +354,7 @@ def _execute_stream(task: StreamTask) -> BatchReport:
         algorithm,
         num_requests=task.num_requests,
         rng=generator_from_seed(task.seed, bit_generator=task.bit_generator),
+        network=task.network,
     )
 
 
@@ -357,17 +365,26 @@ def run_stream_ensemble(
     streams: int = 4,
     rng: RandomState = None,
     jobs: int | None = None,
+    network: MECNetwork | None = None,
 ) -> list[BatchReport]:
     """Run ``streams`` independent request streams, in parallel when allowed.
 
-    Each stream draws its own network, catalog, and arrivals from a
-    pre-spawned child seed and commits onto its own ledger, so streams are
+    Each stream draws its own catalog and arrivals from a pre-spawned
+    child seed and commits onto its own ledger, so streams are
     embarrassingly parallel; results are returned in stream order and are
     bit-identical for every ``jobs`` value (including the serial fallback
     taken when ``jobs`` resolves to 1 or the algorithm cannot be shipped to
     a worker).  Aggregate the reports' acceptance/SLO rates to get
     confidence intervals the single-stream runner cannot provide.
+
+    ``network`` pins every stream to one shared topology (capacity
+    *ledgers* stay per-stream) -- the operator question "how does *my*
+    network behave under many independent arrival draws".  When omitted,
+    each stream draws its own topology from its seed, as before.  With
+    ``REPRO_SHM=1`` a shared network crosses the process boundary once,
+    as CSR arrays in a shared-memory segment, instead of once per task.
     """
+    from repro.parallel import shm
     from repro.parallel.executor import resolve_jobs, shared_executor
     from repro.parallel.tasks import AlgorithmSpec
 
@@ -383,9 +400,26 @@ def run_stream_ensemble(
                 algorithm,
                 num_requests=num_requests,
                 rng=generator_from_seed(seed, bit_generator=bit_generator),
+                network=network,
             )
             for seed in seeds
         ]
+    if shm.shm_enabled():
+        state = shm.publish_stream_ensemble(
+            settings,
+            spec,
+            num_requests,
+            seeds,
+            bit_generator=bit_generator,
+            network=network,
+        )
+        try:
+            tasks = [shm.ShmTask(state.name, index) for index in range(streams)]
+            return shared_executor(num_jobs).map_ordered(
+                shm.execute_shm_stream, tasks
+            )
+        finally:
+            state.unlink()
     tasks = [
         StreamTask(
             settings=settings,
@@ -394,6 +428,7 @@ def run_stream_ensemble(
             seed=seed,
             index=index,
             bit_generator=bit_generator,
+            network=network,
         )
         for index, seed in enumerate(seeds)
     ]

@@ -270,6 +270,7 @@ def run_point(
         Optional item-generation override forwarded to every trial (used
         by the truncation ablation).
     """
+    from repro.parallel import shm
     from repro.parallel.executor import (
         chunk_indices,
         default_chunk_size,
@@ -302,6 +303,28 @@ def run_point(
             )
             for start, stop in bounds
         ]
+    elif shm.shm_enabled():
+        # Zero-pickle path: the shared state (settings, specs, seed table)
+        # crosses the process boundary once, in a named shared-memory
+        # segment; each task pickles to ~60 bytes of (segment, index).
+        # Chunk boundaries are index * size -- the same bounds as above --
+        # so the fold tree is unchanged and the numbers are bit-identical.
+        state = shm.publish_sweep(
+            settings,
+            specs,
+            seeds,
+            chunk_size=size,
+            bit_generator=bit_generator,
+            validate=validate,
+            item_config=item_config,
+        )
+        try:
+            tasks = [shm.ShmTask(state.name, index) for index in range(len(bounds))]
+            partials = shared_executor(num_jobs).map_ordered(
+                shm.execute_shm_chunk, tasks
+            )
+        finally:
+            state.unlink()
     else:
         chunks = [
             ChunkTask(

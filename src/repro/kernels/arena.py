@@ -92,10 +92,15 @@ class MatrixArena:
         return cur[:size]
 
     def __reduce__(self):
+        # The never-pickle contract the shared-memory distribution layer
+        # (repro.parallel.shm) is built around: state crosses the process
+        # boundary only as read-only views over published segments plus
+        # value-like metadata -- mutable scratch like this arena is rebuilt
+        # locally by each worker, never serialised.
         raise TypeError(
             "MatrixArena is thread/process-local and must never be pickled; "
             "each worker creates its own via thread_arena() "
-            "(see docs/performance.md)"
+            "(see docs/performance.md and docs/parallel.md)"
         )
 
 

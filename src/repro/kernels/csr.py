@@ -107,6 +107,49 @@ class CSRAdjacency:
     def num_nodes(self) -> int:
         return len(self.order)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        order: list | None = None,
+    ) -> "CSRAdjacency":
+        """Rebuild a CSR view from raw arrays without touching a graph.
+
+        The attach side of the shared-memory distribution layer
+        (:mod:`repro.parallel.shm`): the arrays may be **read-only views**
+        over a shared segment -- nothing here copies or writes them, so
+        the rebuilt view is zero-copy.  ``order`` defaults to contiguous
+        ids ``0..n-1``.  Validates CSR shape invariants (monotone
+        ``indptr`` starting at 0, in-range ``indices``) so a corrupt
+        segment fails here rather than in a BFS.
+        """
+        indptr = np.asarray(indptr)
+        indices = np.asarray(indices)
+        if indptr.ndim != 1 or len(indptr) < 1 or indptr[0] != 0:
+            raise ValueError("indptr must be 1-D and start at 0")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        n = len(indptr) - 1
+        if int(indptr[-1]) != len(indices):
+            raise ValueError("indptr[-1] must equal len(indices)")
+        if len(indices) and (indices.min() < 0 or indices.max() >= n):
+            raise ValueError("indices out of range for the node count")
+        if order is None:
+            order = list(range(n))
+        elif len(order) != n:
+            raise ValueError(f"order has {len(order)} ids for {n} nodes")
+        csr = object.__new__(cls)
+        csr.indptr = indptr
+        csr.indices = indices
+        csr.order = list(order)
+        csr.index_of = {v: i for i, v in enumerate(csr.order)}
+        return csr
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(indptr, indices)`` pair (what a publisher serialises)."""
+        return self.indptr, self.indices
+
 
 _CSR_CACHE: "WeakKeyDictionary[nx.Graph, CSRAdjacency]" = WeakKeyDictionary()
 
@@ -116,6 +159,32 @@ def csr_adjacency(graph: nx.Graph) -> CSRAdjacency:
     csr = _CSR_CACHE.get(graph)
     if csr is None:
         csr = _CSR_CACHE[graph] = CSRAdjacency(graph)
+    return csr
+
+
+def adopt_csr(graph: nx.Graph, csr: CSRAdjacency) -> CSRAdjacency:
+    """Install a pre-built CSR view as ``graph``'s memoized adjacency.
+
+    The shared-memory attach path rebuilds a worker's graph from published
+    arrays and then *adopts* the shared read-only CSR views into this
+    cache, so every neighborhood kernel over the rebuilt graph runs its
+    BFS directly on the segment's buffers instead of re-flattening the
+    adjacency.  The view is verified against the graph (node count, edge
+    count, node order) before it is trusted -- adopting a mismatched view
+    raises rather than silently corrupting every downstream reach set.
+    """
+    if csr.num_nodes != graph.number_of_nodes():
+        raise ValueError(
+            f"CSR has {csr.num_nodes} nodes, graph has {graph.number_of_nodes()}"
+        )
+    if len(csr.indices) != 2 * graph.number_of_edges():
+        raise ValueError(
+            f"CSR has {len(csr.indices)} directed edges, "
+            f"graph has {2 * graph.number_of_edges()}"
+        )
+    if csr.order != list(graph.nodes):
+        raise ValueError("CSR node order does not match graph iteration order")
+    _CSR_CACHE[graph] = csr
     return csr
 
 

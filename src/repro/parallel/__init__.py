@@ -9,21 +9,30 @@ work the rest of the library runs through this package:
   workers rebuild algorithms and RNG streams locally instead of receiving
   live objects;
 * :mod:`~repro.parallel.executor` -- the chunked, spawn-safe
-  :class:`ParallelExecutor` with ordered folding and inline fallback;
+  :class:`ParallelExecutor` with ordered folding, inline fallback, and
+  per-sweep payload accounting (:class:`PayloadStats`);
 * :mod:`~repro.parallel.registry` -- name -> factory reconstruction of
-  algorithms inside workers.
+  algorithms inside workers;
+* :mod:`~repro.parallel.shm` -- zero-pickle distribution: each sweep's
+  shared immutable state is published **once** into a named
+  shared-memory segment with a typed, content-hashed manifest; task
+  payloads shrink to a :class:`ShmTask` of ``(segment name, index)``.
+  Switched by ``REPRO_SHM`` (default on).
 
 The engine's contract is that parallel execution is *invisible* in the
 numbers: for a fixed seed, ``run_point(..., jobs=k)`` returns bit-identical
-aggregates for every ``k``.  See ``docs/parallel.md`` for the argument.
+aggregates for every ``k`` and either ``REPRO_SHM`` setting.  See
+``docs/parallel.md`` for the argument.
 """
 
 from repro.parallel.executor import (
     JOBS_ENV,
     ParallelExecutor,
+    PayloadStats,
     chunk_indices,
     default_chunk_size,
     default_jobs,
+    measure_payload,
     resolve_jobs,
     shared_executor,
     shutdown_executors,
@@ -32,6 +41,20 @@ from repro.parallel.registry import (
     algorithm_factory,
     build_algorithm,
     register_algorithm,
+)
+from repro.parallel.shm import (
+    SHM_ENV,
+    SHM_TASK_BYTE_BUDGET,
+    SharedState,
+    ShmManifest,
+    ShmTask,
+    active_segments,
+    attach,
+    execute_shm_chunk,
+    publish,
+    publish_sweep,
+    shm_enabled,
+    shutdown_shared_state,
 )
 from repro.parallel.tasks import (
     AlgorithmSpec,
@@ -47,17 +70,31 @@ __all__ = [
     "ChunkTask",
     "JOBS_ENV",
     "ParallelExecutor",
+    "PayloadStats",
+    "SHM_ENV",
+    "SHM_TASK_BYTE_BUDGET",
+    "SharedState",
+    "ShmManifest",
+    "ShmTask",
     "TrialTask",
+    "active_segments",
     "algorithm_factory",
+    "attach",
     "build_algorithm",
     "chunk_indices",
     "default_chunk_size",
     "default_jobs",
     "execute_chunk",
+    "execute_shm_chunk",
     "fold_chunk",
+    "measure_payload",
+    "publish",
+    "publish_sweep",
     "register_algorithm",
     "resolve_jobs",
     "shared_executor",
+    "shm_enabled",
     "shutdown_executors",
+    "shutdown_shared_state",
     "specs_for",
 ]

@@ -30,6 +30,7 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Callable, Sequence, TypeVar
 
@@ -102,6 +103,47 @@ def chunk_indices(count: int, chunk_size: int) -> list[tuple[int, int]]:
     return [(start, min(start + chunk_size, count)) for start in range(0, count, chunk_size)]
 
 
+@dataclass(frozen=True)
+class PayloadStats:
+    """Serialized size of one sweep's task payloads.
+
+    What actually crosses the pipe per task is the pickle the pool writes;
+    these are the sizes of exactly those pickles (default protocol, the
+    one :class:`~concurrent.futures.ProcessPoolExecutor` uses).  Benches
+    surface the numbers next to their aggregates, and the regression guard
+    in ``tests/test_parallel_shm.py`` pins the per-task maximum under
+    :data:`repro.parallel.shm.SHM_TASK_BYTE_BUDGET` when shm is on.
+    """
+
+    tasks: int
+    total_bytes: int
+    max_bytes: int
+
+    @property
+    def mean_bytes(self) -> float:
+        return self.total_bytes / self.tasks if self.tasks else 0.0
+
+
+def measure_payload(tasks: Sequence[T]) -> PayloadStats | None:
+    """Pickle every task the way the pool would; ``None`` if any cannot be.
+
+    Replaces the executor's former single-task ``pickle.dumps(tasks[0])``
+    smoke check: same picklability answer, but the byte counts are kept
+    (total/mean/max per task) instead of thrown away.
+    """
+    total = 0
+    largest = 0
+    try:
+        for task in tasks:
+            size = len(pickle.dumps(task))
+            total += size
+            if size > largest:
+                largest = size
+    except Exception:
+        return None
+    return PayloadStats(tasks=len(tasks), total_bytes=total, max_bytes=largest)
+
+
 class ParallelExecutor:
     """A spawn-safe process pool with ordered results and inline fallback.
 
@@ -118,6 +160,9 @@ class ParallelExecutor:
     def __init__(self, jobs: int | None = None):
         self.jobs = resolve_jobs(jobs)
         self._pool: ProcessPoolExecutor | None = None
+        #: Payload accounting of the most recent pooled ``map_ordered``
+        #: (``None`` until a call actually dispatched to the pool).
+        self.last_payload: PayloadStats | None = None
 
     # -- pool lifecycle -------------------------------------------------------------
 
@@ -142,14 +187,6 @@ class ParallelExecutor:
 
     # -- execution ------------------------------------------------------------------
 
-    @staticmethod
-    def _picklable(tasks: Sequence[T]) -> bool:
-        try:
-            pickle.dumps(tasks[0])
-        except Exception:
-            return False
-        return True
-
     def map_ordered(
         self, worker: Callable[[T], R], tasks: Sequence[T]
     ) -> list[R]:
@@ -157,8 +194,12 @@ class ParallelExecutor:
         tasks = list(tasks)
         if not tasks:
             return []
-        if self.jobs <= 1 or len(tasks) == 1 or not self._picklable(tasks):
+        if self.jobs <= 1 or len(tasks) == 1:
             return [worker(task) for task in tasks]
+        payload = measure_payload(tasks)
+        if payload is None:
+            return [worker(task) for task in tasks]
+        self.last_payload = payload
         try:
             pool = self._ensure_pool()
             futures = [pool.submit(worker, task) for task in tasks]

@@ -12,6 +12,12 @@ Library users with custom algorithms can :func:`register_algorithm` them;
 unregistered algorithms still parallelise as long as their instances pickle
 (see :meth:`repro.parallel.tasks.AlgorithmSpec.from_algorithm`), and fall
 back to inline execution otherwise.
+
+The registry is also what keeps the zero-pickle distribution layer
+(:mod:`repro.parallel.shm`) small: a sweep's algorithm lineup crosses the
+process boundary as a tuple of registry *keys* inside the segment's
+once-per-sweep blob, and each worker rebuilds live instances locally --
+algorithm objects themselves are never serialised per task.
 """
 
 from __future__ import annotations

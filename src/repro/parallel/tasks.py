@@ -10,6 +10,14 @@ algorithms and generators locally, runs its trials through the exact same
 :func:`repro.experiments.runner.run_trial` code path the serial engine
 uses, and returns one small dict of per-algorithm partial
 :class:`~repro.experiments.runner.AggregateStats` per chunk.
+
+:class:`ChunkTask` is the ``REPRO_SHM=0`` transport: each task carries a
+full pickled copy of the point's settings/specs/seeds (~2 KB).  With the
+zero-pickle layer enabled (:mod:`repro.parallel.shm`, the default) that
+state is published once into a shared-memory segment and the pool ships
+:class:`~repro.parallel.shm.ShmTask` handles instead; both transports
+fold through the same :func:`fold_chunk`, which is why they are
+bit-identical.
 """
 
 from __future__ import annotations
